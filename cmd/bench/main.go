@@ -1,0 +1,107 @@
+// Command bench regenerates the paper's evaluation tables (Fig. 7a/7b/7c
+// and the technical-report extensions) and prints them in the paper's
+// layout. Timed-out cells print "n/a", mirroring the paper's six-hour
+// cutoff.
+//
+// Usage:
+//
+//	bench                         # run everything at default scale
+//	bench -exp fig7a              # one experiment
+//	bench -exp fig7a,fig7c        # several
+//	bench -scale 0.05 -timeout 30s -strategies canonical,unnested
+//	bench -repeat 3               # keep the fastest of three runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"disqo"
+	"disqo/internal/harness"
+)
+
+func main() {
+	var (
+		exps       = flag.String("exp", strings.Join(harness.Order, ","), "comma-separated experiment ids")
+		scale      = flag.Float64("scale", 0.1, "multiplier applied to the paper's RST scale factors (1 = the paper's 10k/50k/100k rows)")
+		tpchSFs    = flag.String("tpch", "0.01,0.02,0.05", "TPC-H scale factors for fig7b")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-cell timeout (cells over it print n/a)")
+		strategies = flag.String("strategies", "", "comma-separated strategies (default: all of s1,s2,s3,canonical,unnested)")
+		repeat     = flag.Int("repeat", 1, "runs per cell; the fastest is kept")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		asJSON     = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Timeout:  *timeout,
+		RSTScale: *scale,
+		Repeat:   *repeat,
+	}
+	for _, s := range splitList(*tpchSFs) {
+		var sf float64
+		if _, err := fmt.Sscanf(s, "%g", &sf); err != nil {
+			fatalf("bad TPC-H scale factor %q", s)
+		}
+		cfg.TPCHSFs = append(cfg.TPCHSFs, sf)
+	}
+	if *strategies != "" {
+		for _, s := range splitList(*strategies) {
+			cfg.Strategies = append(cfg.Strategies, disqo.Strategy(s))
+		}
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r\033[K%s", msg)
+		}
+	}
+
+	fmt.Printf("disqo benchmark harness — RST scale ×%g (paper SF1 = %d rows here), timeout %s\n\n",
+		*scale, int(10000**scale), *timeout)
+	for _, id := range splitList(*exps) {
+		tab, err := harness.Run(id, cfg, progress)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r\033[K")
+		}
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		if *asJSON {
+			out, err := tab.JSON()
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Println(tab.Format())
+		if sp := tab.Speedups(); len(sp) > 0 {
+			best := 0.0
+			for _, v := range sp {
+				if v > best {
+					best = v
+				}
+			}
+			fmt.Printf("max speedup of unnested over the slowest finished baseline: %.0fx\n\n", best)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

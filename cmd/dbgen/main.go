@@ -1,0 +1,115 @@
+// Command dbgen generates the evaluation datasets (RST or TPC-H) and
+// writes them as CSV files, one per table — useful for inspecting the
+// data or loading it elsewhere.
+//
+// Usage:
+//
+//	dbgen -rst 1 -out data/            # r.csv, s.csv, t.csv at 10k rows
+//	dbgen -tpch 0.01 -out data/        # the 5 Query 2d tables
+//	dbgen -tpch 0.01 -all -out data/   # all 8 tables
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"disqo"
+	"disqo/internal/types"
+)
+
+func main() {
+	var (
+		rstSF  = flag.Float64("rst", 0, "RST scale factor")
+		tpchSF = flag.Float64("tpch", 0, "TPC-H scale factor")
+		all    = flag.Bool("all", false, "with -tpch: all 8 tables")
+		out    = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	db := disqo.Open()
+	switch {
+	case *rstSF > 0:
+		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {
+			fatal(err)
+		}
+	case *tpchSF > 0:
+		tables := []string(nil)
+		if *all {
+			tables = []string{"all"}
+		}
+		if err := db.LoadTPCH(*tpchSF, tables...); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("pass -rst or -tpch (see -h)"))
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, table := range db.Tables() {
+		path := filepath.Join(*out, table+".csv")
+		if err := dump(db, table, path); err != nil {
+			fatal(err)
+		}
+		n, _ := db.RowCount(table)
+		fmt.Printf("wrote %s (%d rows)\n", path, n)
+	}
+}
+
+func dump(db *disqo.DB, table, path string) error {
+	res, err := db.Query("SELECT * FROM " + table)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	// Header: strip the qualifier for readability.
+	heads := make([]string, len(res.Columns))
+	for i, c := range res.Columns {
+		if _, name, ok := strings.Cut(c, "."); ok {
+			heads[i] = name
+		} else {
+			heads[i] = c
+		}
+	}
+	fmt.Fprintln(w, strings.Join(heads, ","))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = csvCell(v)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func csvCell(v disqo.Value) string {
+	if v.IsNull() {
+		return ""
+	}
+	if v.Kind() == types.KindString {
+		s := v.Str()
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	return v.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dbgen: %v\n", err)
+	os.Exit(1)
+}

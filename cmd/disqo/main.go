@@ -1,0 +1,195 @@
+// Command disqo is an interactive SQL shell over a generated dataset.
+//
+// Usage:
+//
+//	disqo -rst 0.1                 # REPL over RST at 1,000 rows per table
+//	disqo -tpch 0.01               # REPL over TPC-H SF 0.01
+//	disqo -rst 0.1 -e "SELECT ..." # one-shot query
+//	disqo -strategy canonical ...  # pick an evaluation strategy
+//
+// Inside the REPL:
+//
+//	\explain SELECT ...   show canonical + optimized plans and rewrites
+//	\strategy s2          switch strategy
+//	\tables               list tables
+//	\q                    quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"disqo"
+)
+
+func main() {
+	var (
+		rstSF    = flag.Float64("rst", 0, "load RST at this scale factor (paper SF 1 = 10,000 rows)")
+		tpchSF   = flag.Float64("tpch", 0, "load TPC-H at this scale factor")
+		full     = flag.Bool("tpch-all", false, "generate all 8 TPC-H tables (default: the 5 Query 2d uses)")
+		strategy = flag.String("strategy", string(disqo.Unnested), "evaluation strategy: s1,s2,s3,canonical,unnested")
+		execSQL  = flag.String("e", "", "execute one statement and exit")
+		explain  = flag.Bool("explain", false, "with -e: explain instead of executing")
+		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
+	)
+	flag.Parse()
+
+	db := disqo.Open()
+	if *rstSF > 0 {
+		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded RST at SF %g (%d rows per table)\n", *rstSF, int(*rstSF*10000))
+	}
+	if *tpchSF > 0 {
+		tables := []string(nil)
+		if *full {
+			tables = []string{"all"}
+		}
+		if err := db.LoadTPCH(*tpchSF, tables...); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded TPC-H at SF %g: %s\n", *tpchSF, strings.Join(db.Tables(), ", "))
+	}
+	if *rstSF == 0 && *tpchSF == 0 {
+		fmt.Fprintln(os.Stderr, "no data loaded; use -rst or -tpch (see -h)")
+	}
+
+	sess := &session{db: db, strategy: disqo.Strategy(*strategy), timeout: *timeout}
+	if *execSQL != "" {
+		if *explain {
+			sess.explain(*execSQL)
+		} else {
+			sess.run(*execSQL)
+		}
+		return
+	}
+	sess.repl()
+}
+
+type session struct {
+	db       *disqo.DB
+	strategy disqo.Strategy
+	timeout  time.Duration
+}
+
+func (s *session) options() []disqo.Option {
+	opts := []disqo.Option{disqo.WithStrategy(s.strategy)}
+	if s.timeout > 0 {
+		opts = append(opts, disqo.WithTimeout(s.timeout))
+	}
+	return opts
+}
+
+func (s *session) run(sql string) {
+	if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT") {
+		n, err := s.db.Exec(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Printf("ok (%d rows affected)\n", n)
+		return
+	}
+	res, err := s.db.Query(sql, s.options()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(res.String())
+	fmt.Printf("elapsed: %s  comparisons: %d  subquery evals: %d\n",
+		res.Elapsed.Round(time.Microsecond), res.Stats.Comparisons, res.Stats.SubqueryEvals)
+	if len(res.Rewrites) > 0 {
+		fmt.Printf("rewrites: %s\n", strings.Join(res.Rewrites, "; "))
+	}
+}
+
+func (s *session) explain(sql string) {
+	out, err := s.db.Explain(sql, s.options()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(out)
+}
+
+func (s *session) analyze(sql string) {
+	out, err := s.db.Analyze(sql, s.options()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Print(out)
+}
+
+func (s *session) repl() {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Printf("disqo(%s)> ", s.strategy)
+		} else {
+			fmt.Print("      ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !s.command(trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := buf.String()
+			buf.Reset()
+			s.run(sql)
+		}
+		prompt()
+	}
+}
+
+// command handles backslash metacommands; returns false to quit.
+func (s *session) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\tables":
+		fmt.Println(strings.Join(s.db.Tables(), "\n"))
+		for _, v := range s.db.Views() {
+			fmt.Printf("%s (view)\n", v)
+		}
+	case "\\strategy":
+		if len(fields) != 2 {
+			fmt.Printf("current strategy: %s\n", s.strategy)
+			break
+		}
+		s.strategy = disqo.Strategy(fields[1])
+		fmt.Printf("strategy set to %s\n", s.strategy)
+	case "\\explain":
+		s.explain(strings.TrimPrefix(line, "\\explain "))
+	case "\\analyze":
+		s.analyze(strings.TrimPrefix(line, "\\analyze "))
+	case "\\help":
+		fmt.Println("\\explain <sql>   show plans and rewrites\n\\analyze <sql>   execute and show per-operator row counts\n\\strategy <s>    switch strategy\n\\tables          list tables\n\\q               quit")
+	default:
+		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "disqo: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,712 @@
+// Package disqo is an in-memory relational query engine built to
+// reproduce "Unnesting Scalar SQL Queries in the Presence of Disjunction"
+// (Brantner, May, Moerkotte — ICDE 2007). It parses a SQL dialect
+// covering the paper's query classes, translates it into a relational
+// algebra extended with bypass operators, unnests nested query blocks —
+// including the disjunctive linking and disjunctive correlation cases no
+// classical technique handles — and executes the resulting DAG-shaped
+// plans.
+//
+// Quick start:
+//
+//	db := disqo.Open()
+//	if err := db.LoadRST(1, 1, 1); err != nil { ... }
+//	res, err := db.Query(`SELECT DISTINCT * FROM r
+//	    WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+//	       OR a4 > 1500`)
+//
+// Query strategies (see DESIGN.md §4 for how the baselines model the
+// paper's anonymized commercial systems):
+//
+//	Unnested   — the paper's full strategy (Equivalences 1–5, default)
+//	Canonical  — nested-loop evaluation of the canonical plan
+//	S1         — canonical without any caching (slowest baseline)
+//	S2         — OR-expansion + conjunctive unnesting only
+//	S3         — canonical with rank-ordered predicate short-circuiting
+//	CostBased  — estimate canonical vs. reordered vs. unnested, run the cheapest
+package disqo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/datagen"
+	"disqo/internal/exec"
+	"disqo/internal/rewrite"
+	"disqo/internal/sqlparser"
+	"disqo/internal/stats"
+	"disqo/internal/translate"
+	"disqo/internal/types"
+)
+
+// Value is a SQL scalar value.
+type Value = types.Value
+
+// Column defines one table column.
+type Column = catalog.Column
+
+// Re-exported column types.
+const (
+	TypeInt    = types.KindInt
+	TypeFloat  = types.KindFloat
+	TypeString = types.KindString
+	TypeBool   = types.KindBool
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = types.NewInt
+	// Float builds a float value.
+	Float = types.NewFloat
+	// String builds a string value.
+	String = types.NewString
+	// Bool builds a boolean value.
+	Bool = types.NewBool
+	// Null builds the SQL NULL.
+	Null = types.Null
+)
+
+// Strategy selects how queries are optimized and evaluated.
+type Strategy string
+
+// The available strategies.
+const (
+	// Unnested applies the paper's full rewrite set (Eqv. 1–5).
+	Unnested Strategy = "unnested"
+	// Canonical evaluates the canonical nested plan, memoizing
+	// uncorrelated subplans (a buffer-pool-resident inner relation).
+	Canonical Strategy = "canonical"
+	// S1 models the weakest commercial baseline: canonical evaluation
+	// with no caching at all.
+	S1 Strategy = "s1"
+	// S2 models a system with OR-expansion and conjunctive unnesting but
+	// no disjunctive unnesting.
+	S2 Strategy = "s2"
+	// S3 models a system that reorders disjuncts by rank (cheap
+	// predicate first) but cannot decorrelate.
+	S3 Strategy = "s3"
+	// CostBased estimates the cost of the canonical, reordered and
+	// unnested plans and executes the cheapest — the cost-based
+	// application of the equivalences the paper's introduction calls
+	// for ("some unnesting strategies do not always result in better
+	// plans").
+	CostBased Strategy = "costbased"
+)
+
+// Strategies lists the paper's five systems in presentation order
+// (CostBased is a separate optimizer mode, not one of the compared
+// systems).
+func Strategies() []Strategy { return []Strategy{S1, S2, S3, Canonical, Unnested} }
+
+// DB is an in-memory database: a catalog of tables plus query machinery.
+// It is not safe for concurrent use; wrap it with your own
+// synchronization if needed.
+type DB struct {
+	cat   *catalog.Catalog
+	views map[string]*sqlparser.SelectStmt
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{cat: catalog.New(), views: make(map[string]*sqlparser.SelectStmt)}
+}
+
+// translator builds a statement translator aware of the DB's views.
+func (db *DB) translator() *translate.Translator {
+	return translate.New(db.cat).WithViews(db.views)
+}
+
+// Views lists the defined view names.
+func (db *DB) Views() []string {
+	out := make([]string, 0, len(db.views))
+	for n := range db.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable defines a new table.
+func (db *DB) CreateTable(name string, cols []Column) error {
+	_, err := db.cat.Create(name, cols)
+	return err
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error { return db.cat.Drop(name) }
+
+// Tables lists the defined table names.
+func (db *DB) Tables() []string { return db.cat.Names() }
+
+// Insert appends rows to a table.
+func (db *DB) Insert(table string, rows ...[]Value) error {
+	tbl, err := db.cat.Lookup(table)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := tbl.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowCount returns the number of rows in a table.
+func (db *DB) RowCount(table string) (int, error) {
+	tbl, err := db.cat.Lookup(table)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Rel.Cardinality(), nil
+}
+
+// LoadRST generates the paper's synthetic R, S, T tables at the given
+// scale factors (SF 1 = 10,000 rows).
+func (db *DB) LoadRST(sfR, sfS, sfT float64) error {
+	return datagen.LoadRST(db.cat, datagen.RSTConfig{SFR: sfR, SFS: sfS, SFT: sfT})
+}
+
+// LoadTPCH generates TPC-H tables at the given scale factor. With no
+// table names it generates the five tables Query 2d touches; pass
+// datagen table names (or "all") for more.
+func (db *DB) LoadTPCH(sf float64, tables ...string) error {
+	cfg := datagen.TPCHConfig{SF: sf}
+	if len(tables) == 1 && tables[0] == "all" {
+		cfg.Tables = datagen.TPCHAllTables
+	} else if len(tables) > 0 {
+		cfg.Tables = tables
+	}
+	return datagen.LoadTPCH(db.cat, cfg)
+}
+
+// queryConfig carries per-query options.
+type queryConfig struct {
+	strategy  Strategy
+	timeout   time.Duration
+	maxTuples int64
+}
+
+// Option configures a single Query or Explain call.
+type Option func(*queryConfig)
+
+// WithStrategy selects the optimization strategy (default Unnested).
+func WithStrategy(s Strategy) Option {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithTimeout aborts evaluation after d (default: no limit). Timed-out
+// queries return ErrTimeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *queryConfig) { c.timeout = d }
+}
+
+// WithTupleLimit aborts evaluation with ErrMemoryLimit once more than n
+// tuples have been materialized (default: no limit) — a guard against
+// plans whose intermediate results outgrow memory.
+func WithTupleLimit(n int64) Option {
+	return func(c *queryConfig) { c.maxTuples = n }
+}
+
+// ErrTimeout is returned when a query exceeds its WithTimeout deadline.
+var ErrTimeout = exec.ErrTimeout
+
+// ErrMemoryLimit is returned when a query materializes more tuples than
+// its WithTupleLimit budget.
+var ErrMemoryLimit = exec.ErrMemoryLimit
+
+// Result is a query result: column names, rows, and execution counters.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Stats counts the work performed (comparisons, tuples, subquery
+	// evaluations), letting callers compare strategies analytically.
+	Stats exec.Stats
+	// Rewrites lists the equivalences the optimizer applied.
+	Rewrites []string
+	// Elapsed is the wall-clock execution time (excluding parse and
+	// optimization).
+	Elapsed time.Duration
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = v.String()
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for k := len(v); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}
+
+// plan builds the optimized plan for a statement under a strategy.
+func (db *DB) plan(sql string, cfg queryConfig) (algebra.Op, []string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	canonical, err := db.translator().Translate(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch cfg.strategy {
+	case Unnested, "":
+		rw := rewrite.New(db.cat, rewrite.AllCaps())
+		plan, err := rw.Rewrite(canonical)
+		if err != nil {
+			return nil, nil, err
+		}
+		return plan, rw.Trace, nil
+	case S2:
+		rw := rewrite.New(db.cat, rewrite.Caps{Conjunctive: true, ORExpansion: true, Quantified: true})
+		plan, err := rw.Rewrite(canonical)
+		if err != nil {
+			return nil, nil, err
+		}
+		return plan, rw.Trace, nil
+	case S3:
+		ro := rewrite.NewReorderer(db.cat)
+		plan, err := ro.Rewrite(canonical)
+		if err != nil {
+			return nil, nil, err
+		}
+		var trace []string
+		if ro.Applied > 0 {
+			trace = []string{fmt.Sprintf("reordered %d predicates by rank", ro.Applied)}
+		}
+		return plan, trace, nil
+	case Canonical, S1:
+		return canonical, nil, nil
+	case CostBased:
+		return db.planCostBased(canonical)
+	default:
+		return nil, nil, fmt.Errorf("disqo: unknown strategy %q", cfg.strategy)
+	}
+}
+
+// planCostBased compares the estimated cost of the canonical plan, the
+// rank-reordered plan, and the fully unnested plan, and returns the
+// cheapest.
+func (db *DB) planCostBased(canonical algebra.Op) (algebra.Op, []string, error) {
+	est := stats.New(db.cat)
+
+	rw := rewrite.New(db.cat, rewrite.AllCaps())
+	unnested, err := rw.Rewrite(canonical)
+	if err != nil {
+		return nil, nil, err
+	}
+	ro := rewrite.NewReorderer(db.cat)
+	reordered, err := ro.Rewrite(canonical)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type candidate struct {
+		name  string
+		plan  algebra.Op
+		trace []string
+		cost  float64
+	}
+	cands := []candidate{
+		{name: "canonical", plan: canonical, cost: est.PlanCost(canonical)},
+		{name: "reordered", plan: reordered, cost: est.PlanCost(reordered)},
+		{name: "unnested", plan: unnested, trace: rw.Trace, cost: est.PlanCost(unnested)},
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	trace := append([]string(nil), best.trace...)
+	trace = append(trace, fmt.Sprintf(
+		"cost-based choice: %s (canonical=%.3g, reordered=%.3g, unnested=%.3g)",
+		best.name, cands[0].cost, cands[1].cost, cands[2].cost))
+	return best.plan, trace, nil
+}
+
+// execOptions maps a strategy to executor options.
+func execOptions(cfg queryConfig) exec.Options {
+	opt := exec.Options{Cache: exec.CacheAll, Timeout: cfg.timeout, MaxTuples: cfg.maxTuples}
+	switch cfg.strategy {
+	case S1:
+		opt.Cache = exec.CacheNone
+	case Canonical, S3, S2:
+		// Conventional engines keep base-table pages resident (buffer
+		// pool) but rebuild intermediate results per outer tuple.
+		opt.Cache = exec.CacheScans
+	}
+	return opt
+}
+
+// Exec runs a DDL or DML statement: CREATE TABLE, DROP TABLE, or INSERT.
+// It returns the number of rows affected (inserted).
+func (db *DB) Exec(sql string) (int, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch x := stmt.(type) {
+	case *sqlparser.CreateTableStmt:
+		cols := make([]Column, len(x.Columns))
+		for i, c := range x.Columns {
+			var kind types.Kind
+			switch c.Type {
+			case "INTEGER":
+				kind = types.KindInt
+			case "DOUBLE":
+				kind = types.KindFloat
+			case "VARCHAR":
+				kind = types.KindString
+			case "BOOLEAN":
+				kind = types.KindBool
+			default:
+				return 0, fmt.Errorf("disqo: unknown column type %q", c.Type)
+			}
+			cols[i] = Column{Name: c.Name, Type: kind}
+		}
+		return 0, db.CreateTable(x.Name, cols)
+	case *sqlparser.DropTableStmt:
+		return 0, db.DropTable(x.Name)
+	case *sqlparser.InsertStmt:
+		tbl, err := db.cat.Lookup(x.Table)
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range x.Rows {
+			vals := make([]Value, len(row))
+			for i, lit := range row {
+				switch v := lit.(type) {
+				case *sqlparser.IntLit:
+					vals[i] = Int(v.Val)
+				case *sqlparser.FloatLit:
+					vals[i] = Float(v.Val)
+				case *sqlparser.StringLit:
+					vals[i] = String(v.Val)
+				case *sqlparser.BoolLit:
+					vals[i] = Bool(v.Val)
+				case *sqlparser.NullLit:
+					vals[i] = Null()
+				default:
+					return 0, fmt.Errorf("disqo: INSERT values must be literals, got %s", lit)
+				}
+			}
+			if err := tbl.Insert(vals); err != nil {
+				return 0, err
+			}
+		}
+		return len(x.Rows), nil
+	case *sqlparser.CreateViewStmt:
+		key := strings.ToLower(x.Name)
+		if _, err := db.cat.Lookup(key); err == nil {
+			return 0, fmt.Errorf("disqo: a table named %q already exists", x.Name)
+		}
+		if _, dup := db.views[key]; dup {
+			return 0, fmt.Errorf("disqo: view %q already exists", x.Name)
+		}
+		// Validate the body now so a broken view fails at definition time.
+		probe := Open()
+		probe.cat = db.cat
+		probe.views = db.views
+		if _, err := probe.translator().Translate(x.Body); err != nil {
+			return 0, fmt.Errorf("disqo: invalid view body: %w", err)
+		}
+		db.views[key] = x.Body
+		return 0, nil
+	case *sqlparser.DropViewStmt:
+		key := strings.ToLower(x.Name)
+		if _, ok := db.views[key]; !ok {
+			return 0, fmt.Errorf("disqo: no view %q", x.Name)
+		}
+		delete(db.views, key)
+		return 0, nil
+	case *sqlparser.DeleteStmt:
+		return db.execDelete(x)
+	case *sqlparser.UpdateStmt:
+		return db.execUpdate(x)
+	case *sqlparser.SelectStmt:
+		return 0, fmt.Errorf("disqo: use Query for SELECT statements")
+	default:
+		return 0, fmt.Errorf("disqo: unsupported statement %T", stmt)
+	}
+}
+
+// matchingRows evaluates a WHERE predicate over one table by running the
+// equivalent SELECT through the full optimizer (so subqueries in DML
+// predicates are unnested too) and returns the set of matching tuples.
+func (db *DB) matchingRows(table string, where sqlparser.Expr) (map[uint64][][]Value, error) {
+	sel := &sqlparser.SelectStmt{
+		Star:  true,
+		From:  []sqlparser.TableRef{{Table: table}},
+		Where: where,
+	}
+	plan, err := db.translator().Translate(sel)
+	if err != nil {
+		return nil, err
+	}
+	rw := rewrite.New(db.cat, rewrite.AllCaps())
+	plan, err = rw.Rewrite(plan)
+	if err != nil {
+		return nil, err
+	}
+	ex := exec.New(db.cat, exec.Options{Cache: exec.CacheAll})
+	rel, err := ex.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64][][]Value, rel.Cardinality())
+	for _, t := range rel.Tuples {
+		h := types.HashTuple(t)
+		out[h] = append(out[h], t)
+	}
+	return out, nil
+}
+
+func rowMatches(set map[uint64][][]Value, row []Value) bool {
+	for _, m := range set[types.HashTuple(row)] {
+		if types.TuplesIdentical(m, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// execDelete removes the rows satisfying the predicate. Matching is
+// value-based (the relation is a bag): identical duplicates live or die
+// together, which coincides with SQL's semantics for a value-based
+// predicate.
+func (db *DB) execDelete(x *sqlparser.DeleteStmt) (int, error) {
+	tbl, err := db.cat.Lookup(x.Table)
+	if err != nil {
+		return 0, err
+	}
+	if x.Where == nil {
+		n := tbl.Rel.Cardinality()
+		tbl.Rel.Tuples = nil
+		tbl.BulkLoad(nil) // refresh statistics
+		return n, nil
+	}
+	matching, err := db.matchingRows(x.Table, x.Where)
+	if err != nil {
+		return 0, err
+	}
+	kept := tbl.Rel.Tuples[:0:0]
+	deleted := 0
+	for _, row := range tbl.Rel.Tuples {
+		if rowMatches(matching, row) {
+			deleted++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	tbl.Rel.Tuples = kept
+	tbl.BulkLoad(nil) // refresh statistics
+	return deleted, nil
+}
+
+// execUpdate rewrites the rows satisfying the predicate, evaluating SET
+// expressions against the pre-update row (standard SQL semantics).
+func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
+	tbl, err := db.cat.Lookup(x.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Resolve SET targets and translate value expressions in the table's
+	// scope (subqueries allowed; they evaluate canonically per row).
+	colIdx := make([]int, len(x.Sets))
+	valExprs := make([]algebra.Expr, len(x.Sets))
+	for i, a := range x.Sets {
+		idx := -1
+		for j, c := range tbl.Columns {
+			if strings.EqualFold(c.Name, a.Column) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("disqo: no column %q in %s", a.Column, x.Table)
+		}
+		colIdx[i] = idx
+		ve, err := db.translator().TranslateTableExpr(x.Table, a.Value)
+		if err != nil {
+			return 0, err
+		}
+		valExprs[i] = ve
+	}
+
+	var matching map[uint64][][]Value
+	if x.Where != nil {
+		matching, err = db.matchingRows(x.Table, x.Where)
+		if err != nil {
+			return 0, err
+		}
+	}
+	ex := exec.New(db.cat, exec.Options{Cache: exec.CacheAll})
+	updated := 0
+	newRows := make([][]Value, len(tbl.Rel.Tuples))
+	for i, row := range tbl.Rel.Tuples {
+		if x.Where != nil && !rowMatches(matching, row) {
+			newRows[i] = row
+			continue
+		}
+		env := exec.Bind(nil, tbl.Rel.Schema, row)
+		next := append([]Value(nil), row...)
+		for k, ve := range valExprs {
+			v, err := ex.EvalExpr(ve, env)
+			if err != nil {
+				return updated, err
+			}
+			next[colIdx[k]] = v
+		}
+		newRows[i] = next
+		updated++
+	}
+	tbl.Rel.Tuples = newRows
+	tbl.BulkLoad(nil) // refresh statistics
+	return updated, nil
+}
+
+// Query parses, optimizes and executes a SQL statement.
+func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
+	cfg := queryConfig{strategy: Unnested}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	plan, trace, err := db.plan(sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ex := exec.New(db.cat, execOptions(cfg))
+	start := time.Now()
+	rel, err := ex.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Columns:  append([]string(nil), rel.Schema.Attrs()...),
+		Rows:     rel.Tuples,
+		Stats:    ex.Stats(),
+		Rewrites: trace,
+		Elapsed:  time.Since(start),
+	}
+	return res, nil
+}
+
+// Analyze executes the statement and returns the executed plan annotated
+// with actual row counts and evaluation counts per operator (EXPLAIN
+// ANALYZE). A "×N" marker shows operators evaluated more than once —
+// the per-outer-tuple re-evaluation that canonical nested plans pay and
+// unnested plans avoid.
+func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
+	cfg := queryConfig{strategy: Unnested}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	plan, trace, err := db.plan(sql, cfg)
+	if err != nil {
+		return "", err
+	}
+	ex := exec.New(db.cat, execOptions(cfg))
+	start := time.Now()
+	rel, err := ex.Run(plan)
+	if err != nil {
+		return "", err
+	}
+	elapsed := time.Since(start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s   rows: %d   elapsed: %s\n",
+		cfg.strategy, rel.Cardinality(), elapsed.Round(time.Microsecond))
+	st := ex.Stats()
+	fmt.Fprintf(&b, "comparisons: %d   tuples: %d   subquery evals: %d\n\n",
+		st.Comparisons, st.TuplesOut, st.SubqueryEvals)
+	b.WriteString(algebra.ExplainAnnotated(plan, func(op algebra.Op) string {
+		rows, calls := ex.OpStats(op)
+		if calls == 0 {
+			return "(not evaluated)"
+		}
+		if calls > 1 {
+			return fmt.Sprintf("(rows=%d ×%d)", rows, calls)
+		}
+		return fmt.Sprintf("(rows=%d)", rows)
+	}))
+	if len(trace) > 0 {
+		b.WriteString("\nrewrites:\n")
+		for _, tr := range trace {
+			fmt.Fprintf(&b, "  - %s\n", tr)
+		}
+	}
+	return b.String(), nil
+}
+
+// Explain returns a textual description of the plan a strategy would
+// execute: the canonical translation, the optimized plan, and the list of
+// applied rewrites.
+func (db *DB) Explain(sql string, opts ...Option) (string, error) {
+	cfg := queryConfig{strategy: Unnested}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	canonical, err := db.translator().Translate(stmt)
+	if err != nil {
+		return "", err
+	}
+	plan, trace, err := db.plan(sql, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", cfg.strategy)
+	fmt.Fprintf(&b, "nesting structure: %s\n\n", translate.ClassifyStructure(stmt))
+	b.WriteString("== canonical plan ==\n")
+	b.WriteString(algebra.Explain(canonical))
+	if cfg.strategy != Canonical && cfg.strategy != S1 {
+		est := stats.New(db.cat)
+		b.WriteString("\n== optimized plan ==\n")
+		b.WriteString(algebra.ExplainAnnotated(plan, func(op algebra.Op) string {
+			return fmt.Sprintf("(est %.0f rows)", est.Cardinality(op))
+		}))
+	}
+	if len(trace) > 0 {
+		b.WriteString("\n== applied rewrites ==\n")
+		for _, tr := range trace {
+			fmt.Fprintf(&b, "  - %s\n", tr)
+		}
+	}
+	return b.String(), nil
+}

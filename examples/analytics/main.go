@@ -1,0 +1,79 @@
+// analytics exercises the engine features beyond the paper's core
+// experiments on a generated TPC-H database: GROUP BY / HAVING, derived
+// tables in FROM (with a disjunctive nested query inside — the paper's
+// future-work item (2)), quantified comparisons (θ ALL / θ ANY, item
+// (3)), and the cost-based strategy that declines unprofitable rewrites.
+//
+// Run with: go run ./examples/analytics [-sf 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"disqo"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
+	flag.Parse()
+
+	db := disqo.Open()
+	if err := db.LoadTPCH(*sf); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, sql string, opts ...disqo.Option) {
+		fmt.Println("==", title)
+		res, err := db.Query(sql, opts...)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		out := res.String()
+		lines := strings.SplitN(out, "\n", 7)
+		if len(lines) > 6 {
+			out = strings.Join(lines[:6], "\n") + "\n...\n"
+		}
+		fmt.Print(out)
+		fmt.Printf("   elapsed %s", res.Elapsed.Round(time.Microsecond))
+		if len(res.Rewrites) > 0 {
+			fmt.Printf("   rewrites: %s", strings.Join(res.Rewrites, "; "))
+		}
+		fmt.Print("\n\n")
+	}
+
+	run("suppliers per nation (GROUP BY + HAVING + ORDER BY)",
+		`SELECT n_name, COUNT(*) AS suppliers, AVG(s_acctbal) AS avg_bal
+		 FROM supplier, nation
+		 WHERE s_nationkey = n_nationkey
+		 GROUP BY n_name
+		 HAVING COUNT(*) >= 3
+		 ORDER BY suppliers DESC, n_name`)
+
+	run("derived table with a disjunctive nested query inside (future-work item 2)",
+		`SELECT x.p_partkey, x.ps_supplycost
+		 FROM (SELECT p_partkey, ps_supplycost, ps_availqty
+		       FROM part, partsupp
+		       WHERE p_partkey = ps_partkey
+		         AND (ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp
+		                               WHERE p_partkey = ps_partkey)
+		              OR ps_availqty > 9000)) x
+		 WHERE x.ps_availqty > 4000
+		 ORDER BY x.p_partkey`)
+
+	run("parts cheaper than every supply of part 1 (θ ALL, future-work item 3)",
+		`SELECT DISTINCT ps_partkey FROM partsupp
+		 WHERE ps_supplycost < ALL (SELECT ps_supplycost FROM partsupp WHERE ps_partkey = 1)
+		 ORDER BY ps_partkey`)
+
+	run("cost-based strategy picks the cheaper plan automatically",
+		`SELECT DISTINCT p_partkey FROM part, partsupp
+		 WHERE p_partkey = ps_partkey
+		   AND (ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp
+		                         WHERE p_partkey = ps_partkey)
+		        OR ps_availqty > 2000)`,
+		disqo.WithStrategy(disqo.CostBased))
+}

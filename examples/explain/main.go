@@ -1,0 +1,51 @@
+// explain prints the plan sketches of the paper's Figures 2, 3, 5 and 6:
+// for each of Q1–Q4 it shows the canonical translation next to the
+// unnested bypass plan, with the DAG sharing introduced by bypass
+// operators made explicit (#n / ↑ see #n markers).
+//
+// Run with: go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disqo"
+)
+
+func main() {
+	db := disqo.Open()
+	if err := db.LoadRST(0.01, 0.01, 0.01); err != nil {
+		log.Fatal(err)
+	}
+
+	figures := []struct {
+		figure string
+		sql    string
+	}{
+		{"Fig. 2 — Q1, disjunctive linking",
+			`SELECT DISTINCT * FROM r
+			 WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+			    OR a4 > 1500`},
+		{"Fig. 3 — Q2, disjunctive correlation",
+			`SELECT DISTINCT * FROM r
+			 WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)`},
+		{"Fig. 5 — Q3, tree query",
+			`SELECT DISTINCT * FROM r
+			 WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+			    OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a4 = c2)`},
+		{"Fig. 6 — Q4, linear query",
+			`SELECT DISTINCT * FROM r
+			 WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2
+			              OR b3 = (SELECT COUNT(DISTINCT *) FROM t WHERE b4 = c2))`},
+	}
+
+	for _, f := range figures {
+		fmt.Println("#", f.figure)
+		out, err := db.Explain(f.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

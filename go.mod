@@ -1,0 +1,3 @@
+module disqo
+
+go 1.22

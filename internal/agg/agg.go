@@ -1,0 +1,269 @@
+// Package agg implements SQL aggregate functions — COUNT, SUM, AVG, MIN,
+// MAX, each with an optional DISTINCT modifier — together with the
+// *decomposability* structure the paper's Equivalence 4 requires:
+// f(X) = fO(fI(Y), fI(Z)) for any disjoint split X = Y ∪ Z.
+//
+// COUNT/SUM/AVG/MIN/MAX are decomposable (AVG via a (SUM, COUNT) pair);
+// the DISTINCT variants of COUNT, SUM, and AVG are not (paper §3.3,
+// footnote 1) and force Equivalence 5.
+package agg
+
+import (
+	"fmt"
+	"strings"
+
+	"disqo/internal/types"
+)
+
+// Kind enumerates the aggregate functions.
+type Kind uint8
+
+const (
+	// Count is COUNT(expr) / COUNT(*) (with Spec.Star).
+	Count Kind = iota
+	// Sum is SUM(expr).
+	Sum
+	// Avg is AVG(expr).
+	Avg
+	// Min is MIN(expr).
+	Min
+	// Max is MAX(expr).
+	Max
+)
+
+// String renders the SQL function name.
+func (k Kind) String() string {
+	switch k {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AGG(%d)", uint8(k))
+	}
+}
+
+// Spec describes one aggregate call site: the function, whether the
+// argument is DISTINCT, and whether the argument is * (the whole tuple).
+type Spec struct {
+	Kind     Kind
+	Distinct bool
+	Star     bool
+}
+
+// String renders e.g. "COUNT(DISTINCT *)".
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
+	b.WriteByte('(')
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteByte('*')
+	} else {
+		b.WriteByte('.')
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Validate rejects spec combinations SQL forbids.
+func (s Spec) Validate() error {
+	if s.Star && s.Kind != Count {
+		return fmt.Errorf("agg: %s(*) is not valid SQL; only COUNT takes *", s.Kind)
+	}
+	return nil
+}
+
+// Decomposable reports whether the aggregate satisfies the paper's
+// decomposability definition. MIN(DISTINCT)/MAX(DISTINCT) are trivially
+// decomposable because DISTINCT does not change their value.
+func (s Spec) Decomposable() bool {
+	if !s.Distinct {
+		return true
+	}
+	return s.Kind == Min || s.Kind == Max
+}
+
+// Empty returns f(∅) — the default value the outerjoin g:f(∅) assigns to
+// empty groups (the paper's count-bug fix): 0 for COUNT, NULL otherwise.
+func (s Spec) Empty() types.Value {
+	if s.Kind == Count {
+		return types.NewInt(0)
+	}
+	return types.Null()
+}
+
+// Partials returns the inner aggregates fI of the decomposition. All
+// functions decompose into themselves except AVG, which decomposes into
+// (SUM, COUNT) per the paper:
+//
+//	avg(X) = (sumI(Y)+sumI(Z)) / (countI(Y)+countI(Z)).
+//
+// It errors for non-decomposable specs.
+func (s Spec) Partials() ([]Spec, error) {
+	if !s.Decomposable() {
+		return nil, fmt.Errorf("agg: %s is not decomposable", s)
+	}
+	// MIN/MAX DISTINCT ≡ MIN/MAX; drop the modifier in the partials.
+	base := Spec{Kind: s.Kind, Star: s.Star}
+	if s.Kind == Avg {
+		return []Spec{{Kind: Sum}, {Kind: Count}}, nil
+	}
+	return []Spec{base}, nil
+}
+
+// Combine is fO restricted to two partial values of the same non-AVG
+// kind, with NULL acting as the identity (an empty part contributes
+// nothing): count: y+z; sum: null-skipping +; min/max: null-skipping
+// min/max. Both-NULL yields NULL. AVG has no single-value combiner — its
+// two partials are combined arithmetically by the caller.
+func Combine(k Kind, y, z types.Value) (types.Value, error) {
+	if k == Avg {
+		return types.Null(), fmt.Errorf("agg: AVG partials must be combined as SUM/COUNT pairs")
+	}
+	if y.IsNull() {
+		return z, nil
+	}
+	if z.IsNull() {
+		return y, nil
+	}
+	switch k {
+	case Count, Sum:
+		return types.Arith(types.Add, y, z)
+	case Min:
+		if c, ok := types.Compare(y, z); ok && c <= 0 {
+			return y, nil
+		}
+		return z, nil
+	default: // Max
+		if c, ok := types.Compare(y, z); ok && c >= 0 {
+			return y, nil
+		}
+		return z, nil
+	}
+}
+
+// Acc accumulates one aggregate over a stream of argument tuples.
+// For Star specs the argument is the whole input tuple; otherwise it is
+// the single evaluated argument expression (a one-element slice).
+type Acc struct {
+	spec  Spec
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	first bool
+	best  types.Value // MIN/MAX running value
+	seen  map[uint64][][]types.Value
+}
+
+// NewAcc returns a fresh accumulator for the spec.
+func NewAcc(spec Spec) *Acc {
+	a := &Acc{spec: spec, isInt: true, first: true}
+	if spec.Distinct {
+		a.seen = make(map[uint64][][]types.Value)
+	}
+	return a
+}
+
+// Add feeds one argument tuple. Per SQL, NULL arguments are skipped for
+// every function except COUNT(*) (whose "argument" is the row itself and
+// is never NULL as a whole — a tuple of all NULLs still counts).
+func (a *Acc) Add(args []types.Value) {
+	if !a.spec.Star {
+		if len(args) != 1 {
+			panic(fmt.Sprintf("agg: %s expects 1 argument, got %d", a.spec, len(args)))
+		}
+		if args[0].IsNull() {
+			return
+		}
+	}
+	if a.spec.Distinct && a.dup(args) {
+		return
+	}
+	a.count++
+	if a.spec.Star {
+		return
+	}
+	v := args[0]
+	switch a.spec.Kind {
+	case Count:
+		// counting is enough
+	case Sum, Avg:
+		if v.Kind() == types.KindInt && a.isInt {
+			a.sumI += v.Int()
+		} else {
+			if a.isInt {
+				a.sum = float64(a.sumI)
+				a.isInt = false
+			}
+			f, _ := v.AsFloat()
+			a.sum += f
+		}
+	case Min:
+		if a.first {
+			a.best = v
+		} else if c, ok := types.Compare(v, a.best); ok && c < 0 {
+			a.best = v
+		}
+		a.first = false
+	case Max:
+		if a.first {
+			a.best = v
+		} else if c, ok := types.Compare(v, a.best); ok && c > 0 {
+			a.best = v
+		}
+		a.first = false
+	}
+}
+
+func (a *Acc) dup(args []types.Value) bool {
+	h := types.HashTuple(args)
+	for _, prev := range a.seen[h] {
+		if types.TuplesIdentical(prev, args) {
+			return true
+		}
+	}
+	key := append([]types.Value(nil), args...)
+	a.seen[h] = append(a.seen[h], key)
+	return false
+}
+
+// Result returns the aggregate value; on an empty (post-NULL-filtering)
+// input it returns f(∅): 0 for COUNT, NULL otherwise.
+func (a *Acc) Result() types.Value {
+	switch a.spec.Kind {
+	case Count:
+		return types.NewInt(a.count)
+	case Sum:
+		if a.count == 0 {
+			return types.Null()
+		}
+		if a.isInt {
+			return types.NewInt(a.sumI)
+		}
+		return types.NewFloat(a.sum)
+	case Avg:
+		if a.count == 0 {
+			return types.Null()
+		}
+		total := a.sum
+		if a.isInt {
+			total = float64(a.sumI)
+		}
+		return types.NewFloat(total / float64(a.count))
+	default: // Min, Max
+		if a.first {
+			return types.Null()
+		}
+		return a.best
+	}
+}

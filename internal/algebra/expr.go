@@ -1,0 +1,378 @@
+// Package algebra defines disqo's logical relational algebra: the core
+// operators (σ, Π, ρ, ×, ⋈, ∪), the five extensions the paper introduces
+// in Fig. 1 (unary and binary grouping Γ, leftouterjoin with defaults,
+// numbering ν, map χ), and the bypass operators σ± and ⋈± whose positive
+// and negative output streams make unnesting in the presence of
+// disjunction possible.
+//
+// As in the paper, subscripts may contain algebraic expressions: the
+// expression language includes scalar and quantified subqueries whose
+// operand is itself a plan (ScalarSubquery, QuantSubquery). The canonical
+// translation of a nested SQL query is a Select whose predicate embeds
+// such subplans; the rewriter in internal/rewrite removes them.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"disqo/internal/agg"
+	"disqo/internal/types"
+)
+
+// Expr is a scalar expression evaluated against an environment of named
+// attribute bindings (the current tuple, chained to outer tuples for
+// correlated evaluation).
+type Expr interface {
+	// String renders the expression in SQL-like syntax for EXPLAIN.
+	String() string
+	// Columns appends the names of all column references in the
+	// expression, including those inside subquery plans that are free
+	// there (i.e. the subquery's correlation attributes).
+	Columns(into []string) []string
+}
+
+// ColRef references an attribute by its qualified name.
+type ColRef struct {
+	Name string
+}
+
+// Col is shorthand for a column reference expression.
+func Col(name string) *ColRef { return &ColRef{Name: name} }
+
+// String implements Expr.
+func (c *ColRef) String() string { return c.Name }
+
+// Columns implements Expr.
+func (c *ColRef) Columns(into []string) []string { return append(into, c.Name) }
+
+// ConstExpr is a literal value.
+type ConstExpr struct {
+	Val types.Value
+}
+
+// Const wraps a value as a literal expression.
+func Const(v types.Value) *ConstExpr { return &ConstExpr{Val: v} }
+
+// ConstInt is shorthand for an integer literal expression.
+func ConstInt(v int64) *ConstExpr { return Const(types.NewInt(v)) }
+
+// String implements Expr.
+func (c *ConstExpr) String() string { return c.Val.String() }
+
+// Columns implements Expr.
+func (c *ConstExpr) Columns(into []string) []string { return into }
+
+// CmpExpr is a comparison L θ R.
+type CmpExpr struct {
+	Op   types.CompareOp
+	L, R Expr
+}
+
+// Cmp builds a comparison expression.
+func Cmp(op types.CompareOp, l, r Expr) *CmpExpr { return &CmpExpr{Op: op, L: l, R: r} }
+
+// String implements Expr.
+func (c *CmpExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// Columns implements Expr.
+func (c *CmpExpr) Columns(into []string) []string {
+	return c.R.Columns(c.L.Columns(into))
+}
+
+// AndExpr is Kleene conjunction.
+type AndExpr struct{ L, R Expr }
+
+// And builds a conjunction; nil operands are dropped and a fully nil
+// conjunction is the constant TRUE.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		switch {
+		case e == nil:
+		case out == nil:
+			out = e
+		default:
+			out = &AndExpr{L: out, R: e}
+		}
+	}
+	if out == nil {
+		return Const(types.NewBool(true))
+	}
+	return out
+}
+
+// String implements Expr.
+func (a *AndExpr) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Columns implements Expr.
+func (a *AndExpr) Columns(into []string) []string { return a.R.Columns(a.L.Columns(into)) }
+
+// OrExpr is Kleene disjunction.
+type OrExpr struct{ L, R Expr }
+
+// Or builds a disjunction from one or more operands.
+func Or(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		switch {
+		case e == nil:
+		case out == nil:
+			out = e
+		default:
+			out = &OrExpr{L: out, R: e}
+		}
+	}
+	if out == nil {
+		return Const(types.NewBool(false))
+	}
+	return out
+}
+
+// String implements Expr.
+func (o *OrExpr) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Columns implements Expr.
+func (o *OrExpr) Columns(into []string) []string { return o.R.Columns(o.L.Columns(into)) }
+
+// NotExpr is Kleene negation.
+type NotExpr struct{ E Expr }
+
+// Not negates an expression.
+func Not(e Expr) *NotExpr { return &NotExpr{E: e} }
+
+// String implements Expr.
+func (n *NotExpr) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// Columns implements Expr.
+func (n *NotExpr) Columns(into []string) []string { return n.E.Columns(into) }
+
+// ArithExpr is binary arithmetic.
+type ArithExpr struct {
+	Op   types.ArithOp
+	L, R Expr
+}
+
+// Arith builds an arithmetic expression.
+func Arith(op types.ArithOp, l, r Expr) *ArithExpr { return &ArithExpr{Op: op, L: l, R: r} }
+
+// String implements Expr.
+func (a *ArithExpr) String() string { return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R) }
+
+// Columns implements Expr.
+func (a *ArithExpr) Columns(into []string) []string { return a.R.Columns(a.L.Columns(into)) }
+
+// LikeExpr is the LIKE predicate (negated via NotExpr).
+type LikeExpr struct{ L, Pattern Expr }
+
+// Like builds a LIKE predicate.
+func Like(l, pattern Expr) *LikeExpr { return &LikeExpr{L: l, Pattern: pattern} }
+
+// String implements Expr.
+func (l *LikeExpr) String() string { return fmt.Sprintf("(%s LIKE %s)", l.L, l.Pattern) }
+
+// Columns implements Expr.
+func (l *LikeExpr) Columns(into []string) []string { return l.Pattern.Columns(l.L.Columns(into)) }
+
+// IsNullExpr is the IS NULL predicate (IS NOT NULL via NotExpr).
+type IsNullExpr struct{ E Expr }
+
+// IsNull builds an IS NULL predicate.
+func IsNull(e Expr) *IsNullExpr { return &IsNullExpr{E: e} }
+
+// String implements Expr.
+func (i *IsNullExpr) String() string { return fmt.Sprintf("(%s IS NULL)", i.E) }
+
+// Columns implements Expr.
+func (i *IsNullExpr) Columns(into []string) []string { return i.E.Columns(into) }
+
+// AggCombineExpr applies the decomposition combiner fO of an aggregate
+// kind to two partial results (Eqv. 4's map operator χ g:fO(g1,g2)).
+// NULL partials act as the identity, matching agg.Combine.
+type AggCombineExpr struct {
+	Kind agg.Kind
+	L, R Expr
+}
+
+// AggCombine builds an fO combiner expression.
+func AggCombine(k agg.Kind, l, r Expr) *AggCombineExpr { return &AggCombineExpr{Kind: k, L: l, R: r} }
+
+// String implements Expr.
+func (a *AggCombineExpr) String() string {
+	return fmt.Sprintf("%s_O(%s, %s)", strings.ToLower(a.Kind.String()), a.L, a.R)
+}
+
+// Columns implements Expr.
+func (a *AggCombineExpr) Columns(into []string) []string { return a.R.Columns(a.L.Columns(into)) }
+
+// ScalarSubquery embeds a nested query block in an expression, exactly as
+// the canonical SQL translation produces it: an aggregate f applied to
+// the result of an algebraic plan whose free attributes are bound by the
+// enclosing tuple. Evaluating it is the nested-loop strategy the paper's
+// unnesting eliminates.
+type ScalarSubquery struct {
+	Agg agg.Spec
+	// Arg is the aggregate's argument, evaluated in the subplan's output
+	// schema (plus the outer environment). It is nil for Star specs.
+	Arg Expr
+	// Plan is the subquery block's algebraic translation.
+	Plan Op
+}
+
+// Subquery builds a scalar subquery expression.
+func Subquery(spec agg.Spec, arg Expr, plan Op) *ScalarSubquery {
+	return &ScalarSubquery{Agg: spec, Arg: arg, Plan: plan}
+}
+
+// String implements Expr.
+func (s *ScalarSubquery) String() string {
+	arg := "*"
+	if s.Arg != nil {
+		arg = s.Arg.String()
+	}
+	mod := ""
+	if s.Agg.Distinct {
+		mod = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s){%s}", s.Agg.Kind, mod, arg, PlanInline(s.Plan))
+}
+
+// Columns implements Expr: the subquery contributes its *free* columns —
+// references its own plan does not supply — which are exactly the
+// correlation attributes.
+func (s *ScalarSubquery) Columns(into []string) []string {
+	return append(into, FreeColumns(s.Plan)...)
+}
+
+// Quantifier enumerates the table-subquery linking operators of the
+// technical-report extension.
+type Quantifier uint8
+
+const (
+	// Exists is EXISTS(subquery).
+	Exists Quantifier = iota
+	// NotExists is NOT EXISTS(subquery).
+	NotExists
+	// In is expr IN (subquery).
+	In
+	// NotIn is expr NOT IN (subquery).
+	NotIn
+)
+
+// String renders the quantifier keyword.
+func (q Quantifier) String() string {
+	switch q {
+	case Exists:
+		return "EXISTS"
+	case NotExists:
+		return "NOT EXISTS"
+	case In:
+		return "IN"
+	default:
+		return "NOT IN"
+	}
+}
+
+// QuantSubquery is a quantified table subquery: EXISTS/NOT EXISTS take no
+// left operand; IN/NOT IN compare L against the subquery's single output
+// column.
+type QuantSubquery struct {
+	Quant Quantifier
+	L     Expr // nil for EXISTS/NOT EXISTS
+	Plan  Op
+}
+
+// Quant builds a quantified subquery predicate.
+func Quant(q Quantifier, l Expr, plan Op) *QuantSubquery {
+	return &QuantSubquery{Quant: q, L: l, Plan: plan}
+}
+
+// String implements Expr.
+func (q *QuantSubquery) String() string {
+	if q.L == nil {
+		return fmt.Sprintf("%s{%s}", q.Quant, PlanInline(q.Plan))
+	}
+	return fmt.Sprintf("(%s %s {%s})", q.L, q.Quant, PlanInline(q.Plan))
+}
+
+// Columns implements Expr.
+func (q *QuantSubquery) Columns(into []string) []string {
+	if q.L != nil {
+		into = q.L.Columns(into)
+	}
+	return append(into, FreeColumns(q.Plan)...)
+}
+
+// AllAnyExpr is a quantified comparison L θ ALL|ANY (plan): the Kleene
+// fold of L θ y over the plan's single output column — AND for ALL
+// (vacuously TRUE on empty input), OR for ANY (vacuously FALSE).
+type AllAnyExpr struct {
+	Op   types.CompareOp
+	All  bool
+	L    Expr
+	Plan Op
+}
+
+// AllAny builds a quantified comparison predicate.
+func AllAny(op types.CompareOp, all bool, l Expr, plan Op) *AllAnyExpr {
+	return &AllAnyExpr{Op: op, All: all, L: l, Plan: plan}
+}
+
+// String implements Expr.
+func (a *AllAnyExpr) String() string {
+	quant := "ANY"
+	if a.All {
+		quant = "ALL"
+	}
+	return fmt.Sprintf("(%s %s %s {%s})", a.L, a.Op, quant, PlanInline(a.Plan))
+}
+
+// Columns implements Expr.
+func (a *AllAnyExpr) Columns(into []string) []string {
+	return append(a.L.Columns(into), FreeColumns(a.Plan)...)
+}
+
+// SplitConjuncts flattens nested ANDs into a conjunct list.
+func SplitConjuncts(e Expr) []Expr {
+	if a, ok := e.(*AndExpr); ok {
+		return append(SplitConjuncts(a.L), SplitConjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// SplitDisjuncts flattens nested ORs into a disjunct list.
+func SplitDisjuncts(e Expr) []Expr {
+	if o, ok := e.(*OrExpr); ok {
+		return append(SplitDisjuncts(o.L), SplitDisjuncts(o.R)...)
+	}
+	return []Expr{e}
+}
+
+// HasSubquery reports whether the expression contains any subquery
+// (scalar or quantified) at any depth, not descending into subplans.
+func HasSubquery(e Expr) bool {
+	switch x := e.(type) {
+	case *ScalarSubquery, *QuantSubquery, *AllAnyExpr:
+		return true
+	case *CmpExpr:
+		return HasSubquery(x.L) || HasSubquery(x.R)
+	case *AndExpr:
+		return HasSubquery(x.L) || HasSubquery(x.R)
+	case *OrExpr:
+		return HasSubquery(x.L) || HasSubquery(x.R)
+	case *NotExpr:
+		return HasSubquery(x.E)
+	case *ArithExpr:
+		return HasSubquery(x.L) || HasSubquery(x.R)
+	case *LikeExpr:
+		return HasSubquery(x.L) || HasSubquery(x.Pattern)
+	case *IsNullExpr:
+		return HasSubquery(x.E)
+	case *AggCombineExpr:
+		return HasSubquery(x.L) || HasSubquery(x.R)
+	default:
+		return false
+	}
+}

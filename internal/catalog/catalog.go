@@ -1,0 +1,181 @@
+// Package catalog tracks the database schema: table definitions, their
+// column types, and base-table statistics the cost model consumes. The
+// executor resolves table names against a Catalog to find the stored
+// relations.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Table is a named base relation plus its maintained statistics.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rel     *storage.Relation
+
+	statsMu    sync.Mutex
+	statsDirty bool
+	stats      *TableStats
+}
+
+// TableStats are per-table statistics used by the cost model: row count
+// and per-column distinct-value counts and numeric min/max.
+type TableStats struct {
+	Rows     int
+	Distinct map[string]int     // column → #distinct (Identical semantics)
+	Min, Max map[string]float64 // numeric columns only
+}
+
+// Catalog is the set of defined tables. It is not safe for concurrent
+// mutation; the public API layer serializes DDL.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// qualify builds the executor attribute name for a table column: the
+// translator binds range variables to these, e.g. table "r" column "a1"
+// becomes "r.a1".
+func qualify(table, col string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(col)
+}
+
+// Create defines a new table with the given columns and an empty heap.
+func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %q needs at least one column", name)
+	}
+	attrs := make([]string, len(cols))
+	seen := map[string]bool{}
+	for i, col := range cols {
+		lc := strings.ToLower(col.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		seen[lc] = true
+		attrs[i] = qualify(key, col.Name)
+	}
+	t := &Table{
+		Name:    key,
+		Columns: cols,
+		Rel:     storage.NewRelation(storage.NewSchema(attrs...)),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Lookup returns the table or an error naming it.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	if t, ok := c.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("catalog: no table %q", name)
+}
+
+// Names returns the defined table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a row after arity and type checking. NULL is accepted in
+// any column (the paper's schemas are nullable throughout).
+func (t *Table) Insert(row []types.Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.Columns[i].Type &&
+			!(v.IsNumeric() && (t.Columns[i].Type == types.KindInt || t.Columns[i].Type == types.KindFloat)) {
+			return fmt.Errorf("catalog: %s.%s expects %s, got %s",
+				t.Name, t.Columns[i].Name, t.Columns[i].Type, v.Kind())
+		}
+	}
+	t.Rel.Append(row)
+	t.statsDirty = true
+	return nil
+}
+
+// BulkLoad appends rows without per-row type checking — the data
+// generators produce well-typed rows and load millions of them.
+func (t *Table) BulkLoad(rows [][]types.Value) {
+	t.Rel.Tuples = append(t.Rel.Tuples, rows...)
+	t.statsDirty = true
+}
+
+// Stats returns (computing lazily and caching) the table statistics. It
+// is safe for concurrent readers; writers (Insert/BulkLoad) must not run
+// concurrently with queries.
+func (t *Table) Stats() *TableStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats != nil && !t.statsDirty {
+		return t.stats
+	}
+	s := &TableStats{
+		Rows:     t.Rel.Cardinality(),
+		Distinct: make(map[string]int, len(t.Columns)),
+		Min:      make(map[string]float64),
+		Max:      make(map[string]float64),
+	}
+	for i := range t.Columns {
+		attr := t.Rel.Schema.Attr(i)
+		seen := make(map[uint64]struct{})
+		first := true
+		for _, row := range t.Rel.Tuples {
+			v := row[i]
+			seen[v.Hash()] = struct{}{}
+			if f, ok := v.AsFloat(); ok {
+				if first || f < s.Min[attr] {
+					s.Min[attr] = f
+				}
+				if first || f > s.Max[attr] {
+					s.Max[attr] = f
+				}
+				first = false
+			}
+		}
+		s.Distinct[attr] = len(seen)
+	}
+	t.stats = s
+	t.statsDirty = false
+	return s
+}

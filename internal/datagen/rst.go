@@ -1,0 +1,104 @@
+// Package datagen generates the paper's two evaluation datasets: the RST
+// synthetic schema (§4.1) and a deterministic, dbgen-like TPC-H database.
+// Both are reproducible: the same scale factor always yields the same
+// rows.
+package datagen
+
+import (
+	"fmt"
+
+	"disqo/internal/catalog"
+	"disqo/internal/types"
+)
+
+// rng is a splitmix64 generator — tiny, fast, and stable across Go
+// versions so generated datasets never drift.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform float in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// RSTRowsPerSF is the paper's row count at scale factor 1 (§4.1: SF 1, 5,
+// 10 yield 10,000 / 50,000 / 100,000 rows).
+const RSTRowsPerSF = 10000
+
+// RSTConfig controls RST generation. SF values follow the paper; the
+// column distributions (unspecified there) are chosen so the paper's
+// predicates have non-trivial selectivity — see DESIGN.md §4:
+//
+//	x1: row number (a key),
+//	x2: uniform on [0, rows/10)  — the correlation attribute,
+//	x3: uniform on [0, 100),
+//	x4: uniform on [0, 3000)     — so "x4 > 1500" keeps about half.
+type RSTConfig struct {
+	SFR, SFS, SFT float64
+	Seed          uint64
+}
+
+// LoadRST creates and populates tables r, s, t in the catalog.
+func LoadRST(cat *catalog.Catalog, cfg RSTConfig) error {
+	if cfg.SFR <= 0 || cfg.SFS <= 0 || cfg.SFT <= 0 {
+		return fmt.Errorf("datagen: RST scale factors must be positive, got %+v", cfg)
+	}
+	specs := []struct {
+		name   string
+		prefix string
+		sf     float64
+		seed   uint64
+	}{
+		{"r", "a", cfg.SFR, cfg.Seed ^ 0x1111},
+		{"s", "b", cfg.SFS, cfg.Seed ^ 0x2222},
+		{"t", "c", cfg.SFT, cfg.Seed ^ 0x3333},
+	}
+	for _, sp := range specs {
+		tbl, err := cat.Create(sp.name, []catalog.Column{
+			{Name: sp.prefix + "1", Type: types.KindInt},
+			{Name: sp.prefix + "2", Type: types.KindInt},
+			{Name: sp.prefix + "3", Type: types.KindInt},
+			{Name: sp.prefix + "4", Type: types.KindInt},
+		})
+		if err != nil {
+			return err
+		}
+		n := int(sp.sf * RSTRowsPerSF)
+		if n < 1 {
+			n = 1
+		}
+		r := newRng(sp.seed)
+		corrDomain := n / 10
+		if corrDomain < 1 {
+			corrDomain = 1
+		}
+		rows := make([][]types.Value, n)
+		for i := 0; i < n; i++ {
+			rows[i] = []types.Value{
+				types.NewInt(int64(i)),
+				types.NewInt(int64(r.intn(corrDomain))),
+				types.NewInt(int64(r.intn(100))),
+				types.NewInt(int64(r.intn(3000))),
+			}
+		}
+		tbl.BulkLoad(rows)
+	}
+	return nil
+}

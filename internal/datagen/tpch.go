@@ -1,0 +1,425 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"disqo/internal/catalog"
+	"disqo/internal/types"
+)
+
+// TPC-H base cardinalities at scale factor 1 (TPC-H spec §4.2.5).
+const (
+	sfSupplier = 10000
+	sfPart     = 200000
+	sfCustomer = 150000
+	sfOrders   = 1500000
+)
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations maps each TPC-H nation to its region key (spec table 4.2.3).
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+// Syllables for p_type per spec §4.2.2.13.
+var (
+	types1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+	nouns = []string{"packages", "requests", "accounts", "deposits", "foxes",
+		"ideas", "theodolites", "pinto beans", "instructions", "dependencies"}
+	verbs = []string{"sleep", "wake", "haggle", "nag", "cajole", "detect",
+		"integrate", "boost", "doze", "unwind"}
+	adjectives = []string{"furious", "sly", "careful", "blithe", "quick",
+		"fluffy", "slow", "quiet", "ruthless", "thin"}
+)
+
+// TPCHConfig controls generation: the scale factor and which tables to
+// materialize. Tables nil means the five tables the paper's Query 2d
+// touches; TPCHAllTables lists the full schema.
+type TPCHConfig struct {
+	SF     float64
+	Seed   uint64
+	Tables []string
+}
+
+// TPCHQuery2dTables are the tables Query 2d (and TPC-H Q2) touches.
+var TPCHQuery2dTables = []string{"region", "nation", "supplier", "part", "partsupp"}
+
+// TPCHAllTables is the complete 8-table schema.
+var TPCHAllTables = []string{"region", "nation", "supplier", "part", "partsupp",
+	"customer", "orders", "lineitem"}
+
+// LoadTPCH creates and populates the requested TPC-H tables.
+func LoadTPCH(cat *catalog.Catalog, cfg TPCHConfig) error {
+	if cfg.SF <= 0 {
+		return fmt.Errorf("datagen: TPC-H scale factor must be positive, got %g", cfg.SF)
+	}
+	tables := cfg.Tables
+	if tables == nil {
+		tables = TPCHQuery2dTables
+	}
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[t] = true
+	}
+	g := &tpchGen{cat: cat, sf: cfg.SF, seed: cfg.Seed}
+	// Dimension order matters only for readability; tables are
+	// independent because keys are derived arithmetically as in dbgen.
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"region", g.region}, {"nation", g.nation}, {"supplier", g.supplier},
+		{"part", g.part}, {"partsupp", g.partsupp}, {"customer", g.customer},
+		{"orders", g.orders}, {"lineitem", g.lineitem},
+	}
+	for _, st := range steps {
+		if !want[st.name] {
+			continue
+		}
+		if err := st.fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type tpchGen struct {
+	cat  *catalog.Catalog
+	sf   float64
+	seed uint64
+}
+
+func (g *tpchGen) scaled(base int) int {
+	n := int(math.Round(g.sf * float64(base)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *tpchGen) rng(table string) *rng {
+	h := g.seed ^ 0xabcdef
+	for _, c := range table {
+		h = h*131 + uint64(c)
+	}
+	return newRng(h)
+}
+
+func text(r *rng, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		switch i % 3 {
+		case 0:
+			out += adjectives[r.intn(len(adjectives))]
+		case 1:
+			out += nouns[r.intn(len(nouns))]
+		default:
+			out += verbs[r.intn(len(verbs))]
+		}
+	}
+	return out
+}
+
+func money(r *rng, lo, hi float64) types.Value {
+	cents := math.Round((lo + (hi-lo)*r.float()) * 100)
+	return types.NewFloat(cents / 100)
+}
+
+func (g *tpchGen) region() error {
+	tbl, err := g.cat.Create("region", []catalog.Column{
+		{Name: "r_regionkey", Type: types.KindInt},
+		{Name: "r_name", Type: types.KindString},
+		{Name: "r_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("region")
+	for i, name := range regions {
+		tbl.BulkLoad([][]types.Value{{
+			types.NewInt(int64(i)), types.NewString(name), types.NewString(text(r, 6)),
+		}})
+	}
+	return nil
+}
+
+func (g *tpchGen) nation() error {
+	tbl, err := g.cat.Create("nation", []catalog.Column{
+		{Name: "n_nationkey", Type: types.KindInt},
+		{Name: "n_name", Type: types.KindString},
+		{Name: "n_regionkey", Type: types.KindInt},
+		{Name: "n_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("nation")
+	for i, n := range nations {
+		tbl.BulkLoad([][]types.Value{{
+			types.NewInt(int64(i)), types.NewString(n.name),
+			types.NewInt(int64(n.region)), types.NewString(text(r, 6)),
+		}})
+	}
+	return nil
+}
+
+func (g *tpchGen) supplier() error {
+	tbl, err := g.cat.Create("supplier", []catalog.Column{
+		{Name: "s_suppkey", Type: types.KindInt},
+		{Name: "s_name", Type: types.KindString},
+		{Name: "s_address", Type: types.KindString},
+		{Name: "s_nationkey", Type: types.KindInt},
+		{Name: "s_phone", Type: types.KindString},
+		{Name: "s_acctbal", Type: types.KindFloat},
+		{Name: "s_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("supplier")
+	n := g.scaled(sfSupplier)
+	rows := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		key := int64(i + 1)
+		nat := r.intn(len(nations))
+		rows[i] = []types.Value{
+			types.NewInt(key),
+			types.NewString(fmt.Sprintf("Supplier#%09d", key)),
+			types.NewString(text(r, 2)),
+			types.NewInt(int64(nat)),
+			types.NewString(fmt.Sprintf("%d-%03d-%03d-%04d", 10+nat, r.intn(1000), r.intn(1000), r.intn(10000))),
+			money(r, -999.99, 9999.99),
+			types.NewString(text(r, 8)),
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}
+
+func (g *tpchGen) part() error {
+	tbl, err := g.cat.Create("part", []catalog.Column{
+		{Name: "p_partkey", Type: types.KindInt},
+		{Name: "p_name", Type: types.KindString},
+		{Name: "p_mfgr", Type: types.KindString},
+		{Name: "p_brand", Type: types.KindString},
+		{Name: "p_type", Type: types.KindString},
+		{Name: "p_size", Type: types.KindInt},
+		{Name: "p_container", Type: types.KindString},
+		{Name: "p_retailprice", Type: types.KindFloat},
+		{Name: "p_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("part")
+	n := g.scaled(sfPart)
+	rows := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		key := int64(i + 1)
+		mfgr := 1 + r.intn(5)
+		brand := mfgr*10 + 1 + r.intn(5)
+		ptype := types1[r.intn(len(types1))] + " " + types2[r.intn(len(types2))] + " " + types3[r.intn(len(types3))]
+		rows[i] = []types.Value{
+			types.NewInt(key),
+			types.NewString(text(r, 4)),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			types.NewString(fmt.Sprintf("Brand#%d", brand)),
+			types.NewString(ptype),
+			types.NewInt(int64(1 + r.intn(50))),
+			types.NewString(containers1[r.intn(len(containers1))] + " " + containers2[r.intn(len(containers2))]),
+			money(r, 900, 2000),
+			types.NewString(text(r, 5)),
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}
+
+func (g *tpchGen) partsupp() error {
+	tbl, err := g.cat.Create("partsupp", []catalog.Column{
+		{Name: "ps_partkey", Type: types.KindInt},
+		{Name: "ps_suppkey", Type: types.KindInt},
+		{Name: "ps_availqty", Type: types.KindInt},
+		{Name: "ps_supplycost", Type: types.KindFloat},
+		{Name: "ps_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("partsupp")
+	nPart := g.scaled(sfPart)
+	nSupp := g.scaled(sfSupplier)
+	rows := make([][]types.Value, 0, nPart*4)
+	for p := 1; p <= nPart; p++ {
+		for j := 0; j < 4; j++ {
+			// dbgen's supplier spread: suppliers of a part are distributed
+			// across the whole supplier key space.
+			supp := (p+j*(nSupp/4+(p-1)/nSupp))%nSupp + 1
+			rows = append(rows, []types.Value{
+				types.NewInt(int64(p)),
+				types.NewInt(int64(supp)),
+				types.NewInt(int64(1 + r.intn(9999))),
+				money(r, 1, 1000),
+				types.NewString(text(r, 10)),
+			})
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}
+
+func (g *tpchGen) customer() error {
+	tbl, err := g.cat.Create("customer", []catalog.Column{
+		{Name: "c_custkey", Type: types.KindInt},
+		{Name: "c_name", Type: types.KindString},
+		{Name: "c_address", Type: types.KindString},
+		{Name: "c_nationkey", Type: types.KindInt},
+		{Name: "c_phone", Type: types.KindString},
+		{Name: "c_acctbal", Type: types.KindFloat},
+		{Name: "c_mktsegment", Type: types.KindString},
+		{Name: "c_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("customer")
+	n := g.scaled(sfCustomer)
+	rows := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		key := int64(i + 1)
+		nat := r.intn(len(nations))
+		rows[i] = []types.Value{
+			types.NewInt(key),
+			types.NewString(fmt.Sprintf("Customer#%09d", key)),
+			types.NewString(text(r, 2)),
+			types.NewInt(int64(nat)),
+			types.NewString(fmt.Sprintf("%d-%03d-%03d-%04d", 10+nat, r.intn(1000), r.intn(1000), r.intn(10000))),
+			money(r, -999.99, 9999.99),
+			types.NewString(segments[r.intn(len(segments))]),
+			types.NewString(text(r, 8)),
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}
+
+func (g *tpchGen) orders() error {
+	tbl, err := g.cat.Create("orders", []catalog.Column{
+		{Name: "o_orderkey", Type: types.KindInt},
+		{Name: "o_custkey", Type: types.KindInt},
+		{Name: "o_orderstatus", Type: types.KindString},
+		{Name: "o_totalprice", Type: types.KindFloat},
+		{Name: "o_orderdate", Type: types.KindInt}, // days since 1992-01-01
+		{Name: "o_orderpriority", Type: types.KindString},
+		{Name: "o_clerk", Type: types.KindString},
+		{Name: "o_shippriority", Type: types.KindInt},
+		{Name: "o_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("orders")
+	n := g.scaled(sfOrders)
+	nCust := g.scaled(sfCustomer)
+	rows := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		status := "O"
+		if r.intn(2) == 0 {
+			status = "F"
+		}
+		rows[i] = []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewInt(int64(1 + r.intn(nCust))),
+			types.NewString(status),
+			money(r, 800, 500000),
+			types.NewInt(int64(r.intn(2406))), // ~1992-01-01 .. 1998-08-02
+			types.NewString(priorities[r.intn(len(priorities))]),
+			types.NewString(fmt.Sprintf("Clerk#%09d", 1+r.intn(1000))),
+			types.NewInt(0),
+			types.NewString(text(r, 6)),
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}
+
+func (g *tpchGen) lineitem() error {
+	tbl, err := g.cat.Create("lineitem", []catalog.Column{
+		{Name: "l_orderkey", Type: types.KindInt},
+		{Name: "l_partkey", Type: types.KindInt},
+		{Name: "l_suppkey", Type: types.KindInt},
+		{Name: "l_linenumber", Type: types.KindInt},
+		{Name: "l_quantity", Type: types.KindInt},
+		{Name: "l_extendedprice", Type: types.KindFloat},
+		{Name: "l_discount", Type: types.KindFloat},
+		{Name: "l_tax", Type: types.KindFloat},
+		{Name: "l_returnflag", Type: types.KindString},
+		{Name: "l_linestatus", Type: types.KindString},
+		{Name: "l_shipdate", Type: types.KindInt},
+		{Name: "l_commitdate", Type: types.KindInt},
+		{Name: "l_receiptdate", Type: types.KindInt},
+		{Name: "l_shipinstruct", Type: types.KindString},
+		{Name: "l_shipmode", Type: types.KindString},
+		{Name: "l_comment", Type: types.KindString},
+	})
+	if err != nil {
+		return err
+	}
+	r := g.rng("lineitem")
+	nOrders := g.scaled(sfOrders)
+	nPart := g.scaled(sfPart)
+	nSupp := g.scaled(sfSupplier)
+	flags := []string{"R", "A", "N"}
+	modes := []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instr := []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	var rows [][]types.Value
+	for o := 1; o <= nOrders; o++ {
+		lines := 1 + r.intn(7)
+		for ln := 1; ln <= lines; ln++ {
+			ship := r.intn(2406)
+			rows = append(rows, []types.Value{
+				types.NewInt(int64(o)),
+				types.NewInt(int64(1 + r.intn(nPart))),
+				types.NewInt(int64(1 + r.intn(nSupp))),
+				types.NewInt(int64(ln)),
+				types.NewInt(int64(1 + r.intn(50))),
+				money(r, 900, 100000),
+				types.NewFloat(float64(r.intn(11)) / 100),
+				types.NewFloat(float64(r.intn(9)) / 100),
+				types.NewString(flags[r.intn(len(flags))]),
+				types.NewString("O"),
+				types.NewInt(int64(ship)),
+				types.NewInt(int64(ship + r.intn(30))),
+				types.NewInt(int64(ship + r.intn(30))),
+				types.NewString(instr[r.intn(len(instr))]),
+				types.NewString(modes[r.intn(len(modes))]),
+				types.NewString(text(r, 4)),
+			})
+		}
+	}
+	tbl.BulkLoad(rows)
+	return nil
+}

@@ -1,0 +1,510 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// ErrTimeout is returned when a query exceeds the executor deadline — the
+// harness's equivalent of the paper's six-hour experiment cutoff ("n/a").
+var ErrTimeout = errors.New("exec: query deadline exceeded")
+
+// ErrMemoryLimit is returned when a query materializes more tuples than
+// Options.MaxTuples allows — the in-memory engine's equivalent of
+// spilling until the experiment is aborted.
+var ErrMemoryLimit = errors.New("exec: tuple budget exceeded")
+
+// CacheMode controls how much of a nested subquery's evaluation is
+// memoized across outer tuples. Top-level DAG sharing is always memoized
+// regardless of mode.
+type CacheMode uint8
+
+const (
+	// CacheNone re-evaluates everything per outer tuple — the weakest
+	// baseline (S1): not even base-table pages stay warm.
+	CacheNone CacheMode = iota
+	// CacheScans memoizes base-table scans only — the buffer-pool
+	// behavior of a conventional engine evaluating a canonical plan:
+	// pages stay resident but intermediate join results are rebuilt for
+	// every outer tuple.
+	CacheScans
+	// CacheAll memoizes every uncorrelated subplan: type-A subqueries
+	// and the invariant parts of unnested plans materialize once.
+	CacheAll
+)
+
+// Options tune the executor. The zero value is the weakest baseline: no
+// caching at all.
+type Options struct {
+	// Cache selects how much cross-tuple memoization happens during
+	// correlated subquery evaluation.
+	Cache CacheMode
+	// Timeout aborts evaluation with ErrTimeout when exceeded; zero
+	// means no limit.
+	Timeout time.Duration
+	// MaxTuples aborts evaluation with ErrMemoryLimit once the number of
+	// simultaneously resident tuples (memoized results plus the output
+	// being built) exceeds it; zero means no limit. Transient per-tuple
+	// subquery results do not count — they are released immediately.
+	MaxTuples int64
+}
+
+// Stats counts work done by one execution, letting tests and benchmarks
+// compare strategies by effort rather than wall clock alone.
+type Stats struct {
+	Comparisons   int64 // predicate comparisons evaluated
+	TuplesOut     int64 // tuples materialized across all operators
+	SubqueryEvals int64 // nested subquery evaluations (scalar + quantified)
+	HashJoins     int64 // joins executed by hashing
+	NLJoins       int64 // joins executed by nested loops
+	SortedGroups  int64 // binary groupings executed sort-based
+	OpEvals       int64 // operator evaluations (after memoization)
+}
+
+// Executor evaluates algebra plans against a catalog.
+type Executor struct {
+	cat   *catalog.Catalog
+	opt   Options
+	stats Stats
+
+	memo       map[memoKey]*storage.Relation
+	correlated map[algebra.Op]bool
+	resident   int64 // tuples pinned by the memo
+
+	opRows  map[algebra.Op]int64 // per-operator output rows (last eval)
+	opCalls map[algebra.Op]int64 // per-operator evaluation count
+
+	deadline time.Time
+	ticks    int
+}
+
+type memoKey struct {
+	op   algebra.Op
+	pos  bool // stream side for bypass operators
+	side uint8
+}
+
+// New returns an executor over the catalog.
+func New(cat *catalog.Catalog, opt Options) *Executor {
+	return &Executor{
+		cat:        cat,
+		opt:        opt,
+		memo:       make(map[memoKey]*storage.Relation),
+		correlated: make(map[algebra.Op]bool),
+		opRows:     make(map[algebra.Op]int64),
+		opCalls:    make(map[algebra.Op]int64),
+	}
+}
+
+// Stats returns the work counters accumulated so far.
+func (ex *Executor) Stats() Stats { return ex.stats }
+
+// OpStats reports one operator's last output cardinality and how many
+// times it was evaluated (canonical nested-loop plans evaluate correlated
+// subplans once per outer tuple).
+func (ex *Executor) OpStats(op algebra.Op) (rows, calls int64) {
+	return ex.opRows[op], ex.opCalls[op]
+}
+
+// Run evaluates a plan top-level (no outer bindings).
+func (ex *Executor) Run(plan algebra.Op) (*storage.Relation, error) {
+	if ex.opt.Timeout > 0 {
+		ex.deadline = time.Now().Add(ex.opt.Timeout)
+	} else {
+		ex.deadline = time.Time{}
+	}
+	return ex.eval(plan, nil)
+}
+
+// tick checks the deadline every few thousand inner-loop iterations.
+func (ex *Executor) tick() error {
+	ex.ticks++
+	if ex.ticks&0xfff != 0 {
+		return nil
+	}
+	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// checkBudget enforces the tuple budget against rows pending inside a
+// long-running operator, so a single quadratic join cannot exhaust
+// memory before returning.
+func (ex *Executor) checkBudget(pending int) error {
+	if ex.opt.MaxTuples > 0 && ex.resident+int64(pending) > ex.opt.MaxTuples {
+		return ErrMemoryLimit
+	}
+	return nil
+}
+
+// isCorrelated caches algebra.Correlated per node.
+func (ex *Executor) isCorrelated(op algebra.Op) bool {
+	if c, ok := ex.correlated[op]; ok {
+		return c
+	}
+	c := algebra.Correlated(op)
+	ex.correlated[op] = c
+	return c
+}
+
+// cacheable reports whether the node's result is env-independent and
+// memoization is allowed in the current context: at top level (env==nil)
+// DAG sharing always requires the memo; under an environment the cache
+// mode decides how much may be reused across outer tuples.
+func (ex *Executor) cacheable(op algebra.Op, env *Env) bool {
+	if env == nil {
+		return true
+	}
+	switch ex.opt.Cache {
+	case CacheAll:
+		return !ex.isCorrelated(op)
+	case CacheScans:
+		_, isScan := op.(*algebra.Scan)
+		return isScan
+	default:
+		return false
+	}
+}
+
+// eval evaluates one node with memoization.
+func (ex *Executor) eval(op algebra.Op, env *Env) (*storage.Relation, error) {
+	if err := ex.tick(); err != nil {
+		return nil, err
+	}
+	key := memoKey{op: op}
+	if s, ok := op.(*algebra.Stream); ok {
+		// Streams delegate to the shared bypass node with a side tag.
+		key = memoKey{op: s.Source, pos: s.Positive, side: 1}
+	}
+	cacheable := ex.cacheable(op, env)
+	if cacheable {
+		if rel, ok := ex.memo[key]; ok {
+			// Credit one evaluation to nodes whose result arrived through
+			// a shared bypass evaluation, so EXPLAIN ANALYZE has a row
+			// count for them.
+			if ex.opCalls[op] == 0 {
+				ex.opRows[op] = int64(rel.Cardinality())
+				ex.opCalls[op] = 1
+			}
+			return rel, nil
+		}
+	}
+	rel, err := ex.evalRaw(op, env)
+	if err != nil {
+		return nil, err
+	}
+	ex.stats.OpEvals++
+	ex.stats.TuplesOut += int64(rel.Cardinality())
+	ex.opRows[op] = int64(rel.Cardinality())
+	ex.opCalls[op]++
+	if err := ex.checkBudget(rel.Cardinality()); err != nil {
+		return nil, err
+	}
+	if cacheable {
+		ex.memo[key] = rel
+		ex.resident += int64(rel.Cardinality())
+	}
+	return rel, nil
+}
+
+func (ex *Executor) evalRaw(op algebra.Op, env *Env) (*storage.Relation, error) {
+	switch x := op.(type) {
+	case *algebra.Scan:
+		return ex.evalScan(x)
+	case *algebra.Select:
+		return ex.evalSelect(x, env)
+	case *algebra.BypassSelect:
+		// Reached only via Stream nodes; evaluating the bare node is a
+		// plan bug.
+		return nil, fmt.Errorf("exec: bypass selection must be consumed through Stream nodes")
+	case *algebra.BypassJoin:
+		return nil, fmt.Errorf("exec: bypass join must be consumed through Stream nodes")
+	case *algebra.Stream:
+		return ex.evalStream(x, env)
+	case *algebra.Project:
+		return ex.evalProject(x, env)
+	case *algebra.Rename:
+		return ex.evalRename(x, env)
+	case *algebra.MapOp:
+		return ex.evalMap(x, env)
+	case *algebra.Number:
+		return ex.evalNumber(x, env)
+	case *algebra.CrossProduct:
+		return ex.evalCross(x, env)
+	case *algebra.Join:
+		return ex.evalJoin(x, env)
+	case *algebra.LeftOuterJoin:
+		return ex.evalOuterJoin(x, env)
+	case *algebra.SemiJoin:
+		return ex.evalSemiJoin(x.L, x.R, x.Pred, false, env)
+	case *algebra.AntiJoin:
+		return ex.evalSemiJoin(x.L, x.R, x.Pred, true, env)
+	case *algebra.GroupBy:
+		return ex.evalGroupBy(x, env)
+	case *algebra.BinaryGroup:
+		return ex.evalBinaryGroup(x, env)
+	case *algebra.UnionDisjoint:
+		return ex.evalConcat(x.L, x.R, x.Schema(), env)
+	case *algebra.UnionAll:
+		return ex.evalConcat(x.L, x.R, x.Schema(), env)
+	case *algebra.Distinct:
+		return ex.evalDistinct(x, env)
+	case *algebra.Sort:
+		return ex.evalSort(x, env)
+	case *algebra.Limit:
+		in, err := ex.eval(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(in.Tuples)) <= x.N {
+			return in, nil
+		}
+		return &storage.Relation{Schema: in.Schema, Tuples: in.Tuples[:x.N]}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %T", op)
+	}
+}
+
+func (ex *Executor) evalScan(s *algebra.Scan) (*storage.Relation, error) {
+	tbl, err := ex.cat.Lookup(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Rel.Schema.Len() != s.Schema().Len() {
+		return nil, fmt.Errorf("exec: scan %s: stored arity %d vs plan arity %d",
+			s.Table, tbl.Rel.Schema.Len(), s.Schema().Len())
+	}
+	// Share tuple storage; only the schema (qualification) differs.
+	return &storage.Relation{Schema: s.Schema(), Tuples: tbl.Rel.Tuples}, nil
+}
+
+func (ex *Executor) evalSelect(s *algebra.Select, env *Env) (*storage.Relation, error) {
+	// Fuse σ over the negative stream of a bypass join so the complement
+	// pairs are filtered during enumeration instead of being
+	// materialized first (Eqv. 5's σ_p(R ⋈− S) shape).
+	if st, ok := s.Child.(*algebra.Stream); ok && !st.Positive {
+		if bj, ok := st.Source.(*algebra.BypassJoin); ok {
+			return ex.evalBypassJoinNeg(bj, s.Pred, env)
+		}
+	}
+	in, err := ex.eval(s.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(in.Schema)
+	for _, t := range in.Tuples {
+		if err := ex.tick(); err != nil {
+			return nil, err
+		}
+		keep, err := ex.EvalPred(s.Pred, Bind(env, in.Schema, t))
+		if err != nil {
+			return nil, err
+		}
+		if keep.IsTrue() {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+func (ex *Executor) evalStream(s *algebra.Stream, env *Env) (*storage.Relation, error) {
+	switch src := s.Source.(type) {
+	case *algebra.BypassSelect:
+		pos, neg, err := ex.evalBypassSelect(src, env)
+		if err != nil {
+			return nil, err
+		}
+		// Cache both sides if permitted; eval() caches the requested one.
+		if ex.cacheable(s, env) {
+			ex.memo[memoKey{op: src, pos: true, side: 1}] = pos
+			ex.memo[memoKey{op: src, pos: false, side: 1}] = neg
+		}
+		if s.Positive {
+			return pos, nil
+		}
+		return neg, nil
+	case *algebra.BypassJoin:
+		if s.Positive {
+			return ex.evalBypassJoinPos(src, env)
+		}
+		return ex.evalBypassJoinNeg(src, nil, env)
+	default:
+		return nil, fmt.Errorf("exec: Stream over non-bypass operator %T", s.Source)
+	}
+}
+
+// evalBypassSelect partitions the input into (TRUE, not-TRUE) — the σ±
+// of Fig. 1.
+func (ex *Executor) evalBypassSelect(s *algebra.BypassSelect, env *Env) (pos, neg *storage.Relation, err error) {
+	in, err := ex.eval(s.Child, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos = storage.NewRelation(in.Schema)
+	neg = storage.NewRelation(in.Schema)
+	for _, t := range in.Tuples {
+		if err := ex.tick(); err != nil {
+			return nil, nil, err
+		}
+		keep, err := ex.EvalPred(s.Pred, Bind(env, in.Schema, t))
+		if err != nil {
+			return nil, nil, err
+		}
+		if keep.IsTrue() {
+			pos.Tuples = append(pos.Tuples, t)
+		} else {
+			neg.Tuples = append(neg.Tuples, t)
+		}
+	}
+	return pos, neg, nil
+}
+
+func (ex *Executor) evalProject(p *algebra.Project, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(p.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := in.Schema.Projection(p.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(p.Schema())
+	out.Tuples = make([][]types.Value, len(in.Tuples))
+	for i, t := range in.Tuples {
+		row := make([]types.Value, len(idx))
+		for j, c := range idx {
+			row[j] = t[c]
+		}
+		out.Tuples[i] = row
+	}
+	return out, nil
+}
+
+func (ex *Executor) evalRename(r *algebra.Rename, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(r.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	return &storage.Relation{Schema: r.Schema(), Tuples: in.Tuples}, nil
+}
+
+func (ex *Executor) evalMap(m *algebra.MapOp, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(m.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(m.Schema())
+	out.Tuples = make([][]types.Value, len(in.Tuples))
+	for i, t := range in.Tuples {
+		if err := ex.tick(); err != nil {
+			return nil, err
+		}
+		v, err := ex.EvalExpr(m.Expr, Bind(env, in.Schema, t))
+		if err != nil {
+			return nil, err
+		}
+		row := make([]types.Value, 0, len(t)+1)
+		row = append(row, t...)
+		row = append(row, v)
+		out.Tuples[i] = row
+	}
+	return out, nil
+}
+
+func (ex *Executor) evalNumber(n *algebra.Number, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(n.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(n.Schema())
+	out.Tuples = make([][]types.Value, len(in.Tuples))
+	for i, t := range in.Tuples {
+		row := make([]types.Value, 0, len(t)+1)
+		row = append(row, t...)
+		row = append(row, types.NewInt(int64(i+1)))
+		out.Tuples[i] = row
+	}
+	return out, nil
+}
+
+func (ex *Executor) evalCross(c *algebra.CrossProduct, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(c.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(c.R, env)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(c.Schema())
+	for _, lt := range l.Tuples {
+		if err := ex.checkBudget(len(out.Tuples)); err != nil {
+			return nil, err
+		}
+		for _, rt := range r.Tuples {
+			if err := ex.tick(); err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, concat(lt, rt))
+		}
+	}
+	return out, nil
+}
+
+func (ex *Executor) evalConcat(lop, rop algebra.Op, sch *storage.Schema, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(lop, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(rop, env)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(sch)
+	out.Tuples = make([][]types.Value, 0, len(l.Tuples)+len(r.Tuples))
+	out.Tuples = append(out.Tuples, l.Tuples...)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	return out, nil
+}
+
+func (ex *Executor) evalDistinct(d *algebra.Distinct, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(d.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	return in.Distinct(), nil
+}
+
+func (ex *Executor) evalSort(s *algebra.Sort, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(s.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, len(s.Keys))
+	desc := make([]bool, len(s.Keys))
+	for i, k := range s.Keys {
+		c := in.Schema.Index(k.Attr)
+		if c < 0 {
+			return nil, fmt.Errorf("exec: sort key %q not in %s", k.Attr, in.Schema)
+		}
+		cols[i] = c
+		desc[i] = k.Desc
+	}
+	out := in.Clone()
+	out.SortBy(cols, desc)
+	return out, nil
+}
+
+func concat(a, b []types.Value) []types.Value {
+	row := make([]types.Value, 0, len(a)+len(b))
+	row = append(row, a...)
+	row = append(row, b...)
+	return row
+}

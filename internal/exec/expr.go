@@ -1,0 +1,232 @@
+package exec
+
+import (
+	"fmt"
+
+	"disqo/internal/agg"
+	"disqo/internal/algebra"
+	"disqo/internal/types"
+)
+
+// EvalExpr evaluates a scalar expression in an environment. Predicates
+// evaluated as values render their truth value (UNKNOWN becomes NULL).
+func (ex *Executor) EvalExpr(e algebra.Expr, env *Env) (types.Value, error) {
+	switch x := e.(type) {
+	case *algebra.ColRef:
+		v, ok := env.Lookup(x.Name)
+		if !ok {
+			return types.Value{}, fmt.Errorf("exec: unbound column %q", x.Name)
+		}
+		return v, nil
+	case *algebra.ConstExpr:
+		return x.Val, nil
+	case *algebra.ArithExpr:
+		l, err := ex.EvalExpr(x.L, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := ex.EvalExpr(x.R, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.Arith(x.Op, l, r)
+	case *algebra.AggCombineExpr:
+		l, err := ex.EvalExpr(x.L, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := ex.EvalExpr(x.R, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return agg.Combine(x.Kind, l, r)
+	case *algebra.ScalarSubquery:
+		return ex.evalScalarSubquery(x, env)
+	case *algebra.CmpExpr, *algebra.AndExpr, *algebra.OrExpr, *algebra.NotExpr,
+		*algebra.LikeExpr, *algebra.IsNullExpr, *algebra.QuantSubquery,
+		*algebra.AllAnyExpr:
+		t, err := ex.EvalPred(e, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return t.Value(), nil
+	default:
+		return types.Value{}, fmt.Errorf("exec: cannot evaluate expression %T", e)
+	}
+}
+
+// EvalPred evaluates an expression as a three-valued predicate.
+func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
+	switch x := e.(type) {
+	case *algebra.CmpExpr:
+		l, err := ex.EvalExpr(x.L, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		r, err := ex.EvalExpr(x.R, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		ex.stats.Comparisons++
+		return types.CompareValues(x.Op, l, r), nil
+	case *algebra.AndExpr:
+		l, err := ex.EvalPred(x.L, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		if l == types.False {
+			return types.False, nil // short-circuit
+		}
+		r, err := ex.EvalPred(x.R, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return l.And(r), nil
+	case *algebra.OrExpr:
+		l, err := ex.EvalPred(x.L, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		if l == types.True {
+			return types.True, nil // short-circuit: the disjunction's cheap exit
+		}
+		r, err := ex.EvalPred(x.R, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return l.Or(r), nil
+	case *algebra.NotExpr:
+		t, err := ex.EvalPred(x.E, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return t.Not(), nil
+	case *algebra.LikeExpr:
+		l, err := ex.EvalExpr(x.L, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		p, err := ex.EvalExpr(x.Pattern, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return types.Like(l, p), nil
+	case *algebra.IsNullExpr:
+		v, err := ex.EvalExpr(x.E, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return types.TriOf(v.IsNull()), nil
+	case *algebra.QuantSubquery:
+		return ex.evalQuantSubquery(x, env)
+	case *algebra.AllAnyExpr:
+		return ex.evalAllAny(x, env)
+	default:
+		v, err := ex.EvalExpr(e, env)
+		if err != nil {
+			return types.Unknown, err
+		}
+		return types.TriFromValue(v), nil
+	}
+}
+
+// evalScalarSubquery runs the nested plan under the current environment
+// and folds the aggregate over its result — the canonical nested-loop
+// strategy. Uncorrelated plans (type A) are evaluated once and memoized
+// when the executor's cache is enabled.
+func (ex *Executor) evalScalarSubquery(sq *algebra.ScalarSubquery, env *Env) (types.Value, error) {
+	ex.stats.SubqueryEvals++
+	rel, err := ex.eval(sq.Plan, env)
+	if err != nil {
+		return types.Value{}, err
+	}
+	acc := agg.NewAcc(sq.Agg)
+	for _, t := range rel.Tuples {
+		if sq.Agg.Star {
+			acc.Add(t)
+			continue
+		}
+		inner := Bind(env, rel.Schema, t)
+		v, err := ex.EvalExpr(sq.Arg, inner)
+		if err != nil {
+			return types.Value{}, err
+		}
+		acc.Add([]types.Value{v})
+	}
+	return acc.Result(), nil
+}
+
+// evalQuantSubquery implements EXISTS / NOT EXISTS / IN / NOT IN with SQL
+// three-valued semantics: x IN S is TRUE when a member equals x, UNKNOWN
+// when no member equals x but some comparison is UNKNOWN (NULLs), FALSE
+// otherwise; NOT IN is its Kleene negation.
+func (ex *Executor) evalQuantSubquery(q *algebra.QuantSubquery, env *Env) (types.TriBool, error) {
+	ex.stats.SubqueryEvals++
+	rel, err := ex.eval(q.Plan, env)
+	if err != nil {
+		return types.Unknown, err
+	}
+	switch q.Quant {
+	case algebra.Exists:
+		return types.TriOf(rel.Cardinality() > 0), nil
+	case algebra.NotExists:
+		return types.TriOf(rel.Cardinality() == 0), nil
+	}
+	if rel.Schema.Len() != 1 {
+		return types.Unknown, fmt.Errorf("exec: IN subquery must produce one column, got %s", rel.Schema)
+	}
+	l, err := ex.EvalExpr(q.L, env)
+	if err != nil {
+		return types.Unknown, err
+	}
+	res := types.False
+	for _, t := range rel.Tuples {
+		ex.stats.Comparisons++
+		res = res.Or(types.CompareValues(types.EQ, l, t[0]))
+		if res == types.True {
+			break
+		}
+	}
+	if q.Quant == algebra.NotIn {
+		return res.Not(), nil
+	}
+	return res, nil
+}
+
+// evalAllAny folds a quantified comparison over the subquery's single
+// output column in Kleene logic: AND for ALL (TRUE on empty input), OR
+// for ANY (FALSE on empty input).
+func (ex *Executor) evalAllAny(q *algebra.AllAnyExpr, env *Env) (types.TriBool, error) {
+	ex.stats.SubqueryEvals++
+	rel, err := ex.eval(q.Plan, env)
+	if err != nil {
+		return types.Unknown, err
+	}
+	if rel.Schema.Len() != 1 {
+		return types.Unknown, fmt.Errorf("exec: quantified comparison needs one column, got %s", rel.Schema)
+	}
+	l, err := ex.EvalExpr(q.L, env)
+	if err != nil {
+		return types.Unknown, err
+	}
+	res := types.False
+	if q.All {
+		res = types.True
+	}
+	for _, t := range rel.Tuples {
+		ex.stats.Comparisons++
+		c := types.CompareValues(q.Op, l, t[0])
+		if q.All {
+			res = res.And(c)
+			if res == types.False {
+				break
+			}
+		} else {
+			res = res.Or(c)
+			if res == types.True {
+				break
+			}
+		}
+	}
+	return res, nil
+}

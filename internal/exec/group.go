@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"fmt"
+
+	"disqo/internal/agg"
+	"disqo/internal/algebra"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// aggArgs evaluates the argument tuple for one aggregate item given the
+// input row: the evaluated Arg expression, or for Star specs the row
+// restricted to ArgAttrs (the whole row when ArgAttrs is empty).
+func (ex *Executor) aggArgs(item algebra.AggItem, sch *storage.Schema,
+	row []types.Value, env *Env) ([]types.Value, error) {
+	if item.Spec.Star {
+		if len(item.ArgAttrs) == 0 {
+			return row, nil
+		}
+		idx, err := sch.Projection(item.ArgAttrs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]types.Value, len(idx))
+		for i, c := range idx {
+			out[i] = row[c]
+		}
+		return out, nil
+	}
+	v, err := ex.EvalExpr(item.Arg, Bind(env, sch, row))
+	if err != nil {
+		return nil, err
+	}
+	return []types.Value{v}, nil
+}
+
+// group is one bucket of the hash grouping.
+type group struct {
+	key  []types.Value
+	accs []*agg.Acc
+}
+
+func newAccs(items []algebra.AggItem) []*agg.Acc {
+	accs := make([]*agg.Acc, len(items))
+	for i, it := range items {
+		accs[i] = agg.NewAcc(it.Spec)
+	}
+	return accs
+}
+
+// evalGroupBy implements the unary grouping operator Γ: hash-based, with
+// Identical key semantics (NULL groups with NULL). A Global grouping
+// emits exactly one row even on empty input — the SQL scalar aggregate.
+func (ex *Executor) evalGroupBy(g *algebra.GroupBy, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(g.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	keyCols, err := in.Schema.Projection(g.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.Attrs) == 0 && !g.Global {
+		return nil, fmt.Errorf("exec: grouping without attributes requires Global")
+	}
+
+	buckets := make(map[uint64][]*group)
+	var order []*group // deterministic output order (first appearance)
+	find := func(key []types.Value) *group {
+		h := types.HashTuple(key)
+		for _, grp := range buckets[h] {
+			if types.TuplesIdentical(grp.key, key) {
+				return grp
+			}
+		}
+		grp := &group{key: append([]types.Value(nil), key...), accs: newAccs(g.Aggs)}
+		buckets[h] = append(buckets[h], grp)
+		order = append(order, grp)
+		return grp
+	}
+	if g.Global {
+		find(nil)
+	}
+	for _, t := range in.Tuples {
+		if err := ex.tick(); err != nil {
+			return nil, err
+		}
+		grp := find(keyOf(t, keyCols))
+		for i, item := range g.Aggs {
+			args, err := ex.aggArgs(item, in.Schema, t, env)
+			if err != nil {
+				return nil, err
+			}
+			grp.accs[i].Add(args)
+		}
+	}
+
+	out := storage.NewRelation(g.Schema())
+	out.Tuples = make([][]types.Value, 0, len(order))
+	for _, grp := range order {
+		row := make([]types.Value, 0, len(grp.key)+len(grp.accs))
+		row = append(row, grp.key...)
+		for _, a := range grp.accs {
+			row = append(row, a.Result())
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// evalBinaryGroup implements the binary grouping operator Γ²: each left
+// tuple is extended with aggregates over its matching right tuples, with
+// f(∅) for empty match sets (no count bug by construction). Pure
+// equality predicates use the hash algorithm of May & Moerkotte's
+// main-memory binary grouping; anything else falls back to a nested
+// loop.
+func (ex *Executor) evalBinaryGroup(b *algebra.BinaryGroup, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	keys, residual := splitEquiJoin(b.Pred, l.Schema, r.Schema)
+	out := storage.NewRelation(b.Schema())
+	out.Tuples = make([][]types.Value, 0, len(l.Tuples))
+
+	emit := func(lt []types.Value, accs []*agg.Acc) {
+		row := make([]types.Value, 0, len(lt)+len(accs))
+		row = append(row, lt...)
+		for _, a := range accs {
+			row = append(row, a.Result())
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+
+	if len(keys) > 0 && len(residual) == 0 {
+		ex.stats.HashJoins++
+		lcols := make([]int, len(keys))
+		rcols := make([]int, len(keys))
+		for i, k := range keys {
+			lcols[i] = k.l
+			rcols[i] = k.r
+		}
+		ht := buildHash(r, rcols)
+		for _, lt := range l.Tuples {
+			if err := ex.tick(); err != nil {
+				return nil, err
+			}
+			accs := newAccs(b.Aggs)
+			for _, ri := range ht.probe(keyOf(lt, lcols)) {
+				rt := r.Tuples[ri]
+				if !keysMatch(lt, lcols, rt, rcols) {
+					continue
+				}
+				for i, item := range b.Aggs {
+					args, err := ex.aggArgs(item, r.Schema, rt, env)
+					if err != nil {
+						return nil, err
+					}
+					accs[i].Add(args)
+				}
+			}
+			emit(lt, accs)
+		}
+		return out, nil
+	}
+
+	// Single-inequality predicates with decomposable aggregates run
+	// sort-based (May & Moerkotte): prefix/suffix aggregates over the
+	// sorted right side, one binary search per left tuple.
+	if lcol, rcol, cop, ok := thetaGroupable(b); ok {
+		return ex.evalBinaryGroupSorted(b, l, r, lcol, rcol, cop, env)
+	}
+
+	ex.stats.NLJoins++
+	joined := l.Schema.Concat(r.Schema)
+	for _, lt := range l.Tuples {
+		accs := newAccs(b.Aggs)
+		for _, rt := range r.Tuples {
+			if err := ex.tick(); err != nil {
+				return nil, err
+			}
+			match := types.True
+			if b.Pred != nil {
+				match, err = ex.EvalPred(b.Pred, Bind(env, joined, concat(lt, rt)))
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !match.IsTrue() {
+				continue
+			}
+			for i, item := range b.Aggs {
+				args, err := ex.aggArgs(item, r.Schema, rt, env)
+				if err != nil {
+					return nil, err
+				}
+				accs[i].Add(args)
+			}
+		}
+		emit(lt, accs)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"sort"
+
+	"disqo/internal/agg"
+	"disqo/internal/algebra"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// Sort-based binary grouping for inequality predicates, after May &
+// Moerkotte's main-memory binary grouping algorithms: for a predicate
+// L.a θ R.b with θ ∈ {<, ≤, >, ≥} and decomposable aggregates, sort the
+// right side on b, precompute prefix/suffix aggregate arrays, and answer
+// each left tuple with one binary search — O((|L|+|R|)·log|R|) instead of
+// the nested loop's O(|L|·|R|).
+
+// thetaGroupable reports whether the binary grouping can run sort-based:
+// a single column-vs-column inequality and all aggregates decomposable
+// with single-valued partials (no DISTINCT, no AVG — AVG decomposes into
+// two partials and is rewritten upstream).
+func thetaGroupable(b *algebra.BinaryGroup) (lcol, rcol string, op types.CompareOp, ok bool) {
+	cmp, isCmp := b.Pred.(*algebra.CmpExpr)
+	if !isCmp {
+		return "", "", 0, false
+	}
+	switch cmp.Op {
+	case types.LT, types.LE, types.GT, types.GE:
+	default:
+		return "", "", 0, false
+	}
+	l, lok := cmp.L.(*algebra.ColRef)
+	r, rok := cmp.R.(*algebra.ColRef)
+	if !lok || !rok {
+		return "", "", 0, false
+	}
+	op = cmp.Op
+	if b.L.Schema().Has(l.Name) && b.R.Schema().Has(r.Name) {
+		lcol, rcol = l.Name, r.Name
+	} else if b.L.Schema().Has(r.Name) && b.R.Schema().Has(l.Name) {
+		lcol, rcol = r.Name, l.Name
+		op = op.Flip()
+	} else {
+		return "", "", 0, false
+	}
+	for _, item := range b.Aggs {
+		if item.Spec.Distinct || item.Spec.Kind == agg.Avg {
+			return "", "", 0, false
+		}
+	}
+	return lcol, rcol, op, true
+}
+
+// evalBinaryGroupSorted runs the sort-based algorithm. The caller has
+// verified thetaGroupable.
+func (ex *Executor) evalBinaryGroupSorted(b *algebra.BinaryGroup,
+	l, r *storage.Relation, lcol, rcol string, op types.CompareOp,
+	env *Env) (*storage.Relation, error) {
+
+	ex.stats.SortedGroups++
+	li := l.Schema.Index(lcol)
+	ri := r.Schema.Index(rcol)
+
+	// Sort non-NULL right tuples by the grouping column (NULL b never
+	// satisfies an inequality).
+	idx := make([]int, 0, len(r.Tuples))
+	for i, t := range r.Tuples {
+		if !t[ri].IsNull() {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, c int) bool {
+		cmp, _ := types.Compare(r.Tuples[idx[a]][ri], r.Tuples[idx[c]][ri])
+		return cmp < 0
+	})
+
+	// prefix[k][i] = fI of the first i sorted tuples for aggregate k;
+	// suffix[k][i] = fI of the sorted tuples from position i on.
+	n := len(idx)
+	prefix := make([][]types.Value, len(b.Aggs))
+	suffix := make([][]types.Value, len(b.Aggs))
+	for k, item := range b.Aggs {
+		args := make([][]types.Value, n)
+		for i, ridx := range idx {
+			a, err := ex.aggArgs(item, r.Schema, r.Tuples[ridx], env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		pre := make([]types.Value, n+1)
+		pre[0] = item.Spec.Empty()
+		acc := agg.NewAcc(item.Spec)
+		for i := 0; i < n; i++ {
+			acc.Add(args[i])
+			pre[i+1] = acc.Result()
+		}
+		suf := make([]types.Value, n+1)
+		suf[n] = item.Spec.Empty()
+		acc = agg.NewAcc(item.Spec)
+		for i := n - 1; i >= 0; i-- {
+			acc.Add(args[i])
+			suf[i] = acc.Result()
+		}
+		prefix[k] = pre
+		suffix[k] = suf
+	}
+
+	out := storage.NewRelation(b.Schema())
+	out.Tuples = make([][]types.Value, 0, len(l.Tuples))
+	for _, lt := range l.Tuples {
+		if err := ex.tick(); err != nil {
+			return nil, err
+		}
+		row := make([]types.Value, 0, len(lt)+len(b.Aggs))
+		row = append(row, lt...)
+		v := lt[li]
+		for k, item := range b.Aggs {
+			if v.IsNull() {
+				row = append(row, item.Spec.Empty())
+				continue
+			}
+			// Matching right tuples form a contiguous run in sort order.
+			switch op {
+			case types.LT: // v < b: suffix strictly above v
+				pos := sort.Search(n, func(i int) bool {
+					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+					return c > 0
+				})
+				row = append(row, suffix[k][pos])
+			case types.LE: // v <= b
+				pos := sort.Search(n, func(i int) bool {
+					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+					return c >= 0
+				})
+				row = append(row, suffix[k][pos])
+			case types.GT: // v > b: prefix strictly below v
+				pos := sort.Search(n, func(i int) bool {
+					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+					return c >= 0
+				})
+				row = append(row, prefix[k][pos])
+			default: // GE: v >= b
+				pos := sort.Search(n, func(i int) bool {
+					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+					return c > 0
+				})
+				row = append(row, prefix[k][pos])
+			}
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"disqo"
+	"disqo/internal/catalog"
+	"disqo/internal/datagen"
+	"disqo/internal/exec"
+	"disqo/internal/rewrite"
+	"disqo/internal/sqlparser"
+	"disqo/internal/stats"
+	"disqo/internal/translate"
+)
+
+// Ablation quantifies two design decisions DESIGN.md calls out:
+//
+//  1. decomposability (Eqv. 4) versus the general Eqv. 5 on the same
+//     query — Q2's COUNT(*) is decomposable, so both apply; Eqv. 4's
+//     one-pass split should win by orders of magnitude because Eqv. 5
+//     enumerates the complement of the bypass join;
+//  2. cost-based application — the optimizer should decline unnesting
+//     where the rewrite is estimated slower than canonical.
+//
+// The variants are: eqv4 (normal unnesting), eqv5 (PreferEqv5 forces the
+// general equivalence), canonical, and costbased.
+func Ablation(cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	variants := []string{"canonical", "eqv4", "eqv5", "costbased"}
+	tab := newTable("ablation", "Q2 ablation: Eqv. 4 vs forced Eqv. 5 vs cost-based", nil)
+	for _, sf := range equalSFPoints {
+		eff := sf * cfg.RSTScale
+		cat := catalog.New()
+		if err := datagen.LoadRST(cat, datagen.RSTConfig{SFR: eff, SFS: eff, SFT: eff}); err != nil {
+			return nil, err
+		}
+		param := fmt.Sprintf("SF%g", sf)
+		for _, v := range variants {
+			if progress != nil {
+				progress(fmt.Sprintf("ablation %s %s", param, v))
+			}
+			cell := measureVariant(cat, Q2, v, cfg)
+			tab.set(disqo.Strategy(v), param, cell)
+		}
+	}
+	return tab, nil
+}
+
+// measureVariant plans Q2 under an ablation variant and times execution.
+func measureVariant(cat *catalog.Catalog, sql, variant string, cfg Config) Cell {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return Cell{Err: err}
+	}
+	canonical, err := translate.New(cat).Translate(stmt)
+	if err != nil {
+		return Cell{Err: err}
+	}
+	plan := canonical
+	cacheMode := exec.CacheScans
+	switch variant {
+	case "canonical":
+	case "eqv4":
+		rw := rewrite.New(cat, rewrite.AllCaps())
+		if plan, err = rw.Rewrite(canonical); err != nil {
+			return Cell{Err: err}
+		}
+		cacheMode = exec.CacheAll
+	case "eqv5":
+		caps := rewrite.AllCaps()
+		caps.PreferEqv5 = true
+		rw := rewrite.New(cat, caps)
+		if plan, err = rw.Rewrite(canonical); err != nil {
+			return Cell{Err: err}
+		}
+		cacheMode = exec.CacheAll
+	case "costbased":
+		// Approximate the public CostBased strategy with internal parts
+		// so the whole ablation shares one catalog.
+		est := newEstimator(cat)
+		rw := rewrite.New(cat, rewrite.AllCaps())
+		unnested, err := rw.Rewrite(canonical)
+		if err != nil {
+			return Cell{Err: err}
+		}
+		if est.PlanCost(unnested) < est.PlanCost(canonical) {
+			plan = unnested
+			cacheMode = exec.CacheAll
+		}
+	default:
+		return Cell{Err: fmt.Errorf("unknown variant %q", variant)}
+	}
+	ex := exec.New(cat, exec.Options{Cache: cacheMode, Timeout: cfg.Timeout, MaxTuples: cfg.MaxTuples})
+	start := time.Now()
+	rel, err := ex.Run(plan)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		switch err {
+		case exec.ErrTimeout:
+			return Cell{TimedOut: true}
+		case exec.ErrMemoryLimit:
+			return Cell{OverMem: true}
+		}
+		return Cell{Err: err}
+	}
+	return Cell{Seconds: elapsed, Rows: rel.Cardinality()}
+}
+
+// newEstimator builds a stats estimator; kept here to limit the ablation
+// file's import surface in one place.
+func newEstimator(cat *catalog.Catalog) *stats.Estimator { return stats.New(cat) }

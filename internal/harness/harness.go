@@ -1,0 +1,403 @@
+// Package harness regenerates the paper's evaluation artifacts: the
+// three timing tables of Fig. 7 (Q1 on RST, Query 2d on TPC-H, Q2 on
+// RST), plus the technical report's linear/tree and quantified-subquery
+// experiments. Each experiment sweeps dataset sizes and evaluates every
+// strategy with a per-cell timeout, printing a paper-style table where
+// timed-out cells read "n/a" — the paper's six-hour cutoff in miniature.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"disqo"
+)
+
+// Q1, Q2, Q3, Q4 are the paper's example queries (§3); Query2d is the
+// disjunctive TPC-H Q2 variant from the introduction.
+const (
+	Q1 = `SELECT DISTINCT * FROM r
+	      WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+	         OR a4 > 1500`
+	Q2 = `SELECT DISTINCT * FROM r
+	      WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)`
+	Q3 = `SELECT DISTINCT * FROM r
+	      WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+	         OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a4 = c2)`
+	Q4 = `SELECT DISTINCT * FROM r
+	      WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2
+	                   OR b3 = (SELECT COUNT(DISTINCT *) FROM t WHERE b4 = c2))`
+	Query2d = `SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+	           FROM part, supplier, partsupp, nation, region
+	           WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+	             AND p_size = 15 AND p_type LIKE '%BRASS'
+	             AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+	             AND r_name = 'EUROPE'
+	             AND (ps_supplycost = (SELECT MIN(ps_supplycost)
+	                                   FROM partsupp, supplier, nation, region
+	                                   WHERE s_suppkey = ps_suppkey
+	                                     AND p_partkey = ps_partkey
+	                                     AND s_nationkey = n_nationkey
+	                                     AND n_regionkey = r_regionkey
+	                                     AND r_name = 'EUROPE')
+	                  OR ps_availqty > 2000)
+	           ORDER BY s_acctbal DESC, n_name, s_name, p_partkey`
+	QuantExists = `SELECT DISTINCT * FROM r
+	               WHERE EXISTS (SELECT * FROM s WHERE a2 = b2 AND b4 > 2500)
+	                  OR a4 > 1500`
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Timeout per cell; zero means none. Timed-out cells print "n/a".
+	Timeout time.Duration
+	// RSTScale multiplies the paper's RST scale factors (1, 5, 10). The
+	// paper's SF 1 is 10,000 rows; the default 0.1 keeps canonical
+	// baselines tractable on one core. Results compare growth ratios, so
+	// the multiplier cancels out of the shapes.
+	RSTScale float64
+	// TPCHSFs are the TPC-H scale factors swept by Fig. 7(b).
+	TPCHSFs []float64
+	// Strategies to evaluate; defaults to all five.
+	Strategies []disqo.Strategy
+	// Repeat re-runs each cell and keeps the minimum (noise control).
+	Repeat int
+	// MaxTuples bounds per-query materialization; exceeding it marks the
+	// cell "mem" (default 20 million tuples ≈ a few GB).
+	MaxTuples int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RSTScale == 0 {
+		c.RSTScale = 0.1
+	}
+	if len(c.TPCHSFs) == 0 {
+		c.TPCHSFs = []float64{0.01, 0.02, 0.05}
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = disqo.Strategies()
+	}
+	if c.Repeat == 0 {
+		c.Repeat = 1
+	}
+	if c.MaxTuples == 0 {
+		c.MaxTuples = 20_000_000
+	}
+	return c
+}
+
+// Cell is one measured table entry.
+type Cell struct {
+	Seconds  float64
+	Rows     int
+	TimedOut bool
+	OverMem  bool
+	Err      error
+}
+
+// Table is one experiment's output grid: strategies × parameter points.
+type Table struct {
+	ID, Title string
+	Params    []string
+	Strats    []disqo.Strategy
+	Cells     map[disqo.Strategy]map[string]Cell
+}
+
+func newTable(id, title string, strats []disqo.Strategy) *Table {
+	return &Table{ID: id, Title: title, Strats: strats,
+		Cells: make(map[disqo.Strategy]map[string]Cell)}
+}
+
+func (t *Table) set(s disqo.Strategy, param string, c Cell) {
+	if t.Cells[s] == nil {
+		t.Cells[s] = make(map[string]Cell)
+		t.Strats = appendUnique(t.Strats, s)
+	}
+	if !contains(t.Params, param) {
+		t.Params = append(t.Params, param)
+	}
+	t.Cells[s][param] = c
+}
+
+func appendUnique(ss []disqo.Strategy, s disqo.Strategy) []disqo.Strategy {
+	for _, x := range ss {
+		if x == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// JSON renders the table as a machine-readable document: experiment id,
+// title, and one object per (system, parameter) cell.
+func (t *Table) JSON() ([]byte, error) {
+	type cellJSON struct {
+		System   string  `json:"system"`
+		Param    string  `json:"param"`
+		Seconds  float64 `json:"seconds,omitempty"`
+		Rows     int     `json:"rows"`
+		TimedOut bool    `json:"timed_out,omitempty"`
+		OverMem  bool    `json:"over_memory,omitempty"`
+		Error    string  `json:"error,omitempty"`
+	}
+	doc := struct {
+		ID    string     `json:"experiment"`
+		Title string     `json:"title"`
+		Cells []cellJSON `json:"cells"`
+	}{ID: t.ID, Title: t.Title}
+	for _, s := range t.Strats {
+		for _, p := range t.Params {
+			c, ok := t.Cells[s][p]
+			if !ok {
+				continue
+			}
+			cj := cellJSON{System: string(s), Param: p, Seconds: c.Seconds,
+				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem}
+			if c.Err != nil {
+				cj.Error = c.Err.Error()
+			}
+			doc.Cells = append(doc.Cells, cj)
+		}
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Format renders the table in the paper's layout: one row per system,
+// one column per parameter point, seconds with "n/a" for timeouts.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	width := 10
+	fmt.Fprintf(&b, "%-12s", "system")
+	for _, p := range t.Params {
+		fmt.Fprintf(&b, "%*s", width, p)
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Strats {
+		fmt.Fprintf(&b, "%-12s", string(s))
+		for _, p := range t.Params {
+			c, ok := t.Cells[s][p]
+			switch {
+			case !ok:
+				fmt.Fprintf(&b, "%*s", width, "-")
+			case c.TimedOut:
+				fmt.Fprintf(&b, "%*s", width, "n/a")
+			case c.OverMem:
+				fmt.Fprintf(&b, "%*s", width, "mem")
+			case c.Err != nil:
+				fmt.Fprintf(&b, "%*s", width, "err")
+			default:
+				fmt.Fprintf(&b, "%*s", width, formatSeconds(c.Seconds))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatSeconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// measure runs one query under one strategy against a prepared DB.
+func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
+	best := Cell{Seconds: math.Inf(1)}
+	for i := 0; i < cfg.Repeat; i++ {
+		opts := []disqo.Option{disqo.WithStrategy(s), disqo.WithTupleLimit(cfg.MaxTuples)}
+		if cfg.Timeout > 0 {
+			opts = append(opts, disqo.WithTimeout(cfg.Timeout))
+		}
+		start := time.Now()
+		res, err := db.Query(sql, opts...)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			switch err {
+			case disqo.ErrTimeout:
+				return Cell{TimedOut: true}
+			case disqo.ErrMemoryLimit:
+				return Cell{OverMem: true}
+			}
+			return Cell{Err: err}
+		}
+		if elapsed < best.Seconds {
+			best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
+		}
+	}
+	return best
+}
+
+// rstPairs is the paper's SF1×SF2 grid.
+var rstPairs = [][2]float64{
+	{1, 1}, {1, 5}, {1, 10},
+	{5, 1}, {5, 5}, {5, 10},
+	{10, 1}, {10, 5}, {10, 10},
+}
+
+// runRSTSweep runs a query over the Fig. 7 RST grid.
+func runRSTSweep(id, title, sql string, cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := newTable(id, title, cfg.Strategies)
+	for _, pair := range rstPairs {
+		db := disqo.Open()
+		if err := db.LoadRST(pair[0]*cfg.RSTScale, pair[1]*cfg.RSTScale, pair[1]*cfg.RSTScale); err != nil {
+			return nil, err
+		}
+		param := fmt.Sprintf("%gx%g", pair[0], pair[1])
+		for _, s := range cfg.Strategies {
+			if progress != nil {
+				progress(fmt.Sprintf("%s %s %s", id, param, s))
+			}
+			tab.set(s, param, measure(db, sql, s, cfg))
+		}
+	}
+	return tab, nil
+}
+
+// Fig7a regenerates Fig. 7(a): Q1 (disjunctive linking) on RST.
+func Fig7a(cfg Config, progress func(string)) (*Table, error) {
+	return runRSTSweep("fig7a", "Q1: disjunctive linking, COUNT(DISTINCT *) on RST (SF1×SF2)", Q1, cfg, progress)
+}
+
+// Fig7c regenerates Fig. 7(c): Q2 (disjunctive correlation) on RST.
+func Fig7c(cfg Config, progress func(string)) (*Table, error) {
+	return runRSTSweep("fig7c", "Q2: disjunctive correlation, COUNT(*) on RST (SF1×SF2)", Q2, cfg, progress)
+}
+
+// Fig7b regenerates Fig. 7(b): Query 2d on TPC-H.
+func Fig7b(cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := newTable("fig7b", "Query 2d: disjunctive linking, MIN on TPC-H (SF)", cfg.Strategies)
+	for _, sf := range cfg.TPCHSFs {
+		db := disqo.Open()
+		if err := db.LoadTPCH(sf); err != nil {
+			return nil, err
+		}
+		param := fmt.Sprintf("SF%g", sf)
+		for _, s := range cfg.Strategies {
+			if progress != nil {
+				progress(fmt.Sprintf("fig7b %s %s", param, s))
+			}
+			tab.set(s, param, measure(db, Query2d, s, cfg))
+		}
+	}
+	return tab, nil
+}
+
+// equalSFPoints is the sweep used by the TR-style linear/tree/quantified
+// experiments: equal scale factors for all three relations.
+var equalSFPoints = []float64{1, 5, 10}
+
+func runEqualSweep(id, title, sql string, scaleShrink float64, cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := newTable(id, title, cfg.Strategies)
+	for _, sf := range equalSFPoints {
+		db := disqo.Open()
+		eff := sf * cfg.RSTScale * scaleShrink
+		if err := db.LoadRST(eff, eff, eff); err != nil {
+			return nil, err
+		}
+		param := fmt.Sprintf("SF%g", sf)
+		for _, s := range cfg.Strategies {
+			if progress != nil {
+				progress(fmt.Sprintf("%s %s %s", id, param, s))
+			}
+			tab.set(s, param, measure(db, sql, s, cfg))
+		}
+	}
+	return tab, nil
+}
+
+// Tree runs the Q3 tree-query experiment (TR extension).
+func Tree(cfg Config, progress func(string)) (*Table, error) {
+	return runEqualSweep("tree", "Q3: tree query, two disjunctive linking predicates", Q3, 0.5, cfg, progress)
+}
+
+// Linear runs the Q4 linear-query experiment (TR extension). The inner
+// blocks nest two deep, so the sweep shrinks the data further: the
+// canonical baseline is O(|R|·|S|·|T|).
+func Linear(cfg Config, progress func(string)) (*Table, error) {
+	return runEqualSweep("linear", "Q4: linear query, nested disjunctive correlation", Q4, 0.2, cfg, progress)
+}
+
+// Quantified runs the EXISTS-in-disjunction experiment (TR extension).
+func Quantified(cfg Config, progress func(string)) (*Table, error) {
+	return runEqualSweep("quant", "EXISTS in disjunction (quantified subqueries)", QuantExists, 1, cfg, progress)
+}
+
+// Experiment names in presentation order.
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation"}
+
+// Run dispatches an experiment by id.
+func Run(id string, cfg Config, progress func(string)) (*Table, error) {
+	switch id {
+	case "fig7a":
+		return Fig7a(cfg, progress)
+	case "fig7b":
+		return Fig7b(cfg, progress)
+	case "fig7c":
+		return Fig7c(cfg, progress)
+	case "tree":
+		return Tree(cfg, progress)
+	case "linear":
+		return Linear(cfg, progress)
+	case "quant":
+		return Quantified(cfg, progress)
+	case "ablation":
+		return Ablation(cfg, progress)
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Order, ", "))
+	}
+}
+
+// Speedups summarizes a table: for each parameter point, the ratio of the
+// slowest finished baseline to the unnested strategy.
+func (t *Table) Speedups() map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range t.Params {
+		un, ok := t.Cells[disqo.Unnested][p]
+		if !ok || un.TimedOut || un.Err != nil || un.Seconds == 0 {
+			continue
+		}
+		worst := 0.0
+		for _, s := range t.Strats {
+			if s == disqo.Unnested {
+				continue
+			}
+			c, ok := t.Cells[s][p]
+			if ok && !c.TimedOut && c.Err == nil && c.Seconds > worst {
+				worst = c.Seconds
+			}
+		}
+		if worst > 0 {
+			out[p] = worst / un.Seconds
+		}
+	}
+	return out
+}
+
+// SortedParams returns the parameter points in display order.
+func (t *Table) SortedParams() []string {
+	out := append([]string(nil), t.Params...)
+	sort.Strings(out)
+	return out
+}

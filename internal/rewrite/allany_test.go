@@ -1,0 +1,101 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/types"
+)
+
+// TestAllAnyUnnesting covers the paper's future-work item (3): θ ALL and
+// θ SOME/ANY linking operators, disjunctively and conjunctively, verified
+// against canonical evaluation on data with NULLs and duplicates.
+func TestAllAnyUnnesting(t *testing.T) {
+	cat := rstCatalog(t)
+	queries := []string{
+		// Correlated ANY / ALL in disjunctions.
+		`SELECT DISTINCT * FROM r WHERE a1 > ANY (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a1 > ALL (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a1 <= SOME (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a1 < ALL (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a1 >= ALL (SELECT b1 FROM s WHERE a2 = b2)`,
+		// Equality forms route through IN / NOT IN.
+		`SELECT DISTINCT * FROM r WHERE a2 = ANY (SELECT b2 FROM s) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a2 <> ALL (SELECT b2 FROM s WHERE b4 > 100)`,
+		// NULLs in the subquery column (b3 has a NULL row).
+		`SELECT DISTINCT * FROM r WHERE a3 > ALL (SELECT b3 FROM s WHERE a2 = b2) OR a4 > 1500`,
+		`SELECT DISTINCT * FROM r WHERE a3 > ANY (SELECT b3 FROM s WHERE a2 = b2)`,
+		// Negation flips the quantifier in NNF.
+		`SELECT DISTINCT * FROM r WHERE NOT (a1 <= ALL (SELECT b1 FROM s WHERE a2 = b2))`,
+	}
+	for _, sql := range queries {
+		canonical, rewritten, _ := planFor(t, cat, sql, AllCaps())
+		assertEquivalent(t, cat, canonical, rewritten, sql)
+	}
+
+	// The ordering quantifiers must actually unnest.
+	_, rewritten, rw := planFor(t, cat, queries[1], AllCaps())
+	if algebra.ContainsSubquery(rewritten) {
+		t.Errorf("θ ALL must unnest:\n%s", algebra.Explain(rewritten))
+	}
+	trace := strings.Join(rw.Trace, ";")
+	if !strings.Contains(trace, "θ ALL") {
+		t.Errorf("trace = %v", rw.Trace)
+	}
+}
+
+// TestAllAnyVacuousTruth pins the empty-set semantics: θ ALL over an
+// empty subquery result is TRUE, θ ANY is FALSE.
+func TestAllAnyVacuousTruth(t *testing.T) {
+	cat := catalog.New()
+	r, _ := cat.Create("r", []catalog.Column{{Name: "x", Type: types.KindInt}})
+	s, _ := cat.Create("s", []catalog.Column{{Name: "y", Type: types.KindInt}, {Name: "k", Type: types.KindInt}})
+	r.Insert([]types.Value{types.NewInt(1)})
+	s.Insert([]types.Value{types.NewInt(5), types.NewInt(99)}) // never matches k = x
+	for _, c := range []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT * FROM r WHERE x > ALL (SELECT y FROM s WHERE k = x)`, 1},   // vacuous TRUE
+		{`SELECT * FROM r WHERE x > ANY (SELECT y FROM s WHERE k = x)`, 0},   // vacuous FALSE
+		{`SELECT * FROM r WHERE x <= ALL (SELECT y FROM s WHERE k = 99)`, 1}, // 1 <= 5
+		{`SELECT * FROM r WHERE x > ANY (SELECT y FROM s WHERE k = 99)`, 0},  // 1 > 5 false
+	} {
+		canonical, rewritten, _ := planFor(t, cat, c.sql, AllCaps())
+		for _, plan := range []algebra.Op{canonical, rewritten} {
+			rel := run(t, cat, plan)
+			if rel.Cardinality() != c.want {
+				t.Errorf("%s: got %d rows, want %d\n%s", c.sql, rel.Cardinality(), c.want, algebra.Explain(plan))
+			}
+		}
+	}
+}
+
+// TestAllAnyNullBlocking pins the NULL semantics: a NULL in the subquery
+// column makes θ ALL not-true (unknown) even when all non-NULLs satisfy
+// it, while θ ANY succeeds on any satisfying non-NULL.
+func TestAllAnyNullBlocking(t *testing.T) {
+	cat := catalog.New()
+	r, _ := cat.Create("r", []catalog.Column{{Name: "x", Type: types.KindInt}})
+	s, _ := cat.Create("s", []catalog.Column{{Name: "y", Type: types.KindInt}})
+	r.Insert([]types.Value{types.NewInt(10)})
+	s.Insert([]types.Value{types.NewInt(1)})
+	s.Insert([]types.Value{types.Null()})
+	for _, c := range []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT * FROM r WHERE x > ALL (SELECT y FROM s)`, 0}, // NULL blocks ALL
+		{`SELECT * FROM r WHERE x > ANY (SELECT y FROM s)`, 1}, // 10 > 1 suffices
+	} {
+		canonical, rewritten, _ := planFor(t, cat, c.sql, AllCaps())
+		for _, plan := range []algebra.Op{canonical, rewritten} {
+			rel := run(t, cat, plan)
+			if rel.Cardinality() != c.want {
+				t.Errorf("%s: got %d rows, want %d", c.sql, rel.Cardinality(), c.want)
+			}
+		}
+	}
+}

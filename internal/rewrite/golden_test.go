@@ -1,0 +1,131 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/types"
+)
+
+// Golden plan-shape tests: the EXPLAIN rendering of the unnested plans
+// for the paper's Figures 2(c), 3(b), 5(c) and 6(c). These pin the exact
+// operator structure (including DAG sharing markers); if a rewrite
+// changes shape, the diff shows here first.
+
+func golden(t *testing.T, sql, want string) {
+	t.Helper()
+	// Empty tables: golden shapes must be purely structural, independent
+	// of the statistics-driven rank ordering (covered elsewhere).
+	cat := emptyRST(t)
+	_, rewritten, _ := planFor(t, cat, sql, AllCaps())
+	got := strings.TrimSpace(algebra.Explain(rewritten))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("plan shape drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func emptyRST(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, spec := range []struct{ name, prefix string }{{"r", "a"}, {"s", "b"}, {"t", "c"}} {
+		if _, err := cat.Create(spec.name, []catalog.Column{
+			{Name: spec.prefix + "1", Type: types.KindInt},
+			{Name: spec.prefix + "2", Type: types.KindInt},
+			{Name: spec.prefix + "3", Type: types.KindInt},
+			{Name: spec.prefix + "4", Type: types.KindInt},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func TestGoldenFig2cQ1(t *testing.T) {
+	golden(t, q1, `
+distinct
+  Π[r.a1, r.a2, r.a3, r.a4]
+    ∪̇
+      +stream
+        #1 σ±[(r.a4 > 1500)]
+          scan(r)
+      Π[r.a1, r.a2, r.a3, r.a4]
+        σ[(r.a1 = g1)]
+          Π[r.a1, r.a2, r.a3, r.a4, g1]
+            ⟕[(r.a2 = s.b2)][g1:0]
+              −stream
+                ↑ see #1 σ±[(r.a4 > 1500)]
+              Γ[[s.b2]][g1:COUNT(DISTINCT *)]
+                scan(s)
+`)
+}
+
+func TestGoldenFig3bQ2(t *testing.T) {
+	golden(t, q2, `
+distinct
+  Π[r.a1, r.a2, r.a3, r.a4]
+    Π[r.a1, r.a2, r.a3, r.a4]
+      σ[(r.a1 = g2)]
+        χ[g2:count_O(g1, COUNT(*){+stream(σ±[(s.b4 > 1500)](scan(s)))})]
+          Π[r.a1, r.a2, r.a3, r.a4, g1]
+            ⟕[(r.a2 = s.b2)][g1:0]
+              scan(r)
+              Γ[[s.b2]][g1:COUNT(*)]
+                −stream
+                  σ±[(s.b4 > 1500)]
+                    scan(s)
+`)
+}
+
+func TestGoldenFig5Q3(t *testing.T) {
+	golden(t, q3, `
+distinct
+  Π[r.a1, r.a2, r.a3, r.a4]
+    ∪̇
+      Π[r.a1, r.a2, r.a3, r.a4]
+        +stream
+          #1 σ±[(r.a1 = g1)]
+            Π[r.a1, r.a2, r.a3, r.a4, g1]
+              ⟕[(r.a2 = s.b2)][g1:0]
+                scan(r)
+                Γ[[s.b2]][g1:COUNT(DISTINCT *)]
+                  scan(s)
+      Π[r.a1, r.a2, r.a3, r.a4]
+        σ[(r.a3 = g2)]
+          Π[r.a1, r.a2, r.a3, r.a4, g1, g2]
+            ⟕[(r.a4 = t.c2)][g2:0]
+              −stream
+                ↑ see #1 σ±[(r.a1 = g1)]
+              Γ[[t.c2]][g2:COUNT(DISTINCT *)]
+                scan(t)
+`)
+}
+
+func TestGoldenFig6Q4(t *testing.T) {
+	golden(t, q4, `
+distinct
+  Π[r.a1, r.a2, r.a3, r.a4]
+    Π[r.a1, r.a2, r.a3, r.a4]
+      σ[(r.a1 = g3)]
+        Γ²[(t1 = t2)][g3:COUNT(DISTINCT *)]
+          #1 ν[t1]
+            scan(r)
+          ρ[t2←t1]
+            Π[t1, s.b1, s.b2, s.b3, s.b4]
+              ∪̇
+                +stream
+                  #2 ⋈±[(r.a2 = s.b2)]
+                    ↑ see #1 ν[t1]
+                    scan(s)
+                Π[r.a1, r.a2, r.a3, r.a4, t1, s.b1, s.b2, s.b3, s.b4]
+                  σ[(s.b3 = g4)]
+                    Π[r.a1, r.a2, r.a3, r.a4, t1, s.b1, s.b2, s.b3, s.b4, g4]
+                      ⟕[(s.b4 = t.c2)][g4:0]
+                        −stream
+                          ↑ see #2 ⋈±[(r.a2 = s.b2)]
+                        Γ[[t.c2]][g4:COUNT(DISTINCT *)]
+                          scan(t)
+`)
+}

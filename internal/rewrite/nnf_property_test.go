@@ -1,0 +1,114 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/exec"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// TestNNFPreservesThreeValuedSemantics generates random predicate trees
+// over a small column set, evaluates both the original and its negation
+// normal form against random tuples (including NULLs), and requires the
+// Kleene truth values to agree exactly — not just on "is true". This is
+// the soundness property every rewrite in the package leans on.
+func TestNNFPreservesThreeValuedSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cols := []string{"x.a", "x.b", "x.c"}
+	schema := storage.NewSchema(cols...)
+	cat := catalog.New()
+	ex := exec.New(cat, exec.Options{})
+
+	var gen func(depth int) algebra.Expr
+	gen = func(depth int) algebra.Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			// Leaf: comparison between a column and a column/constant.
+			l := algebra.Col(cols[rng.Intn(len(cols))])
+			var r algebra.Expr
+			if rng.Intn(2) == 0 {
+				r = algebra.Col(cols[rng.Intn(len(cols))])
+			} else {
+				r = algebra.ConstInt(int64(rng.Intn(4)))
+			}
+			ops := []types.CompareOp{types.EQ, types.NE, types.LT, types.LE, types.GT, types.GE}
+			leaf := algebra.Expr(algebra.Cmp(ops[rng.Intn(len(ops))], l, r))
+			if rng.Intn(4) == 0 {
+				leaf = algebra.IsNull(algebra.Col(cols[rng.Intn(len(cols))]))
+			}
+			return leaf
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return algebra.And(gen(depth-1), gen(depth-1))
+		case 1:
+			return algebra.Or(gen(depth-1), gen(depth-1))
+		default:
+			return algebra.Not(gen(depth - 1))
+		}
+	}
+	randVal := func() types.Value {
+		if rng.Intn(4) == 0 {
+			return types.Null()
+		}
+		return types.NewInt(int64(rng.Intn(4)))
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		pred := gen(4)
+		nnf := normalizeNNF(pred)
+		for tup := 0; tup < 8; tup++ {
+			row := []types.Value{randVal(), randVal(), randVal()}
+			env := exec.Bind(nil, schema, row)
+			a, err := ex.EvalPred(pred, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ex.EvalPred(nnf, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("NNF changed semantics on %s:\noriginal: %s = %v\nnnf:      %s = %v\nrow: %v",
+					types.FormatTuple(row), pred, a, nnf, b, row)
+			}
+		}
+	}
+}
+
+// TestReorderPreservesThreeValuedSemantics does the same for the S3
+// baseline's rank reordering: commuting AND/OR operands must not change
+// Kleene truth values.
+func TestReorderPreservesThreeValuedSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cols := []string{"x.a", "x.b"}
+	schema := storage.NewSchema(cols...)
+	cat := catalog.New()
+	ex := exec.New(cat, exec.Options{})
+	ro := NewReorderer(cat)
+
+	leaf := func() algebra.Expr {
+		return algebra.Cmp(types.CompareOp(rng.Intn(6)),
+			algebra.Col(cols[rng.Intn(2)]), algebra.ConstInt(int64(rng.Intn(3))))
+	}
+	for trial := 0; trial < 200; trial++ {
+		pred := algebra.Or(algebra.And(leaf(), leaf()), leaf(), algebra.And(leaf(), algebra.Or(leaf(), leaf())))
+		reordered := ro.reorderExpr(pred, nil)
+		for tup := 0; tup < 6; tup++ {
+			row := []types.Value{types.NewInt(int64(rng.Intn(3))), types.Null()}
+			if rng.Intn(2) == 0 {
+				row[1] = types.NewInt(int64(rng.Intn(3)))
+			}
+			env := exec.Bind(nil, schema, row)
+			a, _ := ex.EvalPred(pred, env)
+			b, _ := ex.EvalPred(reordered, env)
+			if a != b {
+				t.Fatalf("reorder changed semantics:\n%s = %v\n%s = %v\nrow %v",
+					pred, a, reordered, b, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package rewrite
+
+import (
+	"sort"
+
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/stats"
+)
+
+// Reorderer reorders AND/OR operands of selection predicates by rank
+// without unnesting anything — the behavior of an optimizer that
+// understands short-circuit evaluation but cannot decorrelate (the S3
+// baseline): the cheap half of "subquery OR cheap" gets evaluated first,
+// halving nested-loop work without changing its asymptotics.
+type Reorderer struct {
+	est *stats.Estimator
+	// Applied counts how many predicates were reordered.
+	Applied int
+}
+
+// NewReorderer returns a predicate reorderer over the catalog's
+// statistics.
+func NewReorderer(cat *catalog.Catalog) *Reorderer {
+	return &Reorderer{est: stats.New(cat)}
+}
+
+// Rewrite returns a plan whose selection predicates evaluate their
+// operands in ascending rank order. Reordering commutative Kleene
+// connectives preserves three-valued semantics.
+func (ro *Reorderer) Rewrite(plan algebra.Op) (algebra.Op, error) {
+	rw := &Rewriter{memo: make(map[algebra.Op]algebra.Op), est: ro.est, reorder: ro}
+	return rw.rewriteOp(plan)
+}
+
+// reorderExpr rebuilds a predicate with rank-ordered operands.
+func (ro *Reorderer) reorderExpr(e algebra.Expr, input algebra.Op) algebra.Expr {
+	switch e.(type) {
+	case *algebra.OrExpr:
+		parts := algebra.SplitDisjuncts(e)
+		for i, p := range parts {
+			parts[i] = ro.reorderExpr(p, input)
+		}
+		if ro.sortByRank(parts, input) {
+			ro.Applied++
+		}
+		return algebra.Or(parts...)
+	case *algebra.AndExpr:
+		parts := algebra.SplitConjuncts(e)
+		for i, p := range parts {
+			parts[i] = ro.reorderExpr(p, input)
+		}
+		if ro.sortByRank(parts, input) {
+			ro.Applied++
+		}
+		return algebra.And(parts...)
+	default:
+		return e
+	}
+}
+
+// sortByRank stably sorts parts by rank and reports whether the order
+// changed.
+func (ro *Reorderer) sortByRank(parts []algebra.Expr, input algebra.Op) bool {
+	ranks := make([]float64, len(parts))
+	for i, p := range parts {
+		ranks[i] = ro.est.Rank(p, input)
+	}
+	idx := make([]int, len(parts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ranks[idx[a]] < ranks[idx[b]] })
+	changed := false
+	sorted := make([]algebra.Expr, len(parts))
+	for i, j := range idx {
+		if i != j {
+			changed = true
+		}
+		sorted[i] = parts[j]
+	}
+	copy(parts, sorted)
+	return changed
+}

@@ -1,0 +1,54 @@
+package rewrite
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"disqo/internal/sqlparser"
+	"disqo/internal/translate"
+)
+
+// TestGeneratedQueriesStress is an opt-in heavy battery: set
+// DISQO_STRESS=<n> to run n random queries per catalog over 5 random
+// catalogs with a random seed. Not run by default.
+func TestGeneratedQueriesStress(t *testing.T) {
+	nStr := os.Getenv("DISQO_STRESS")
+	if nStr == "" {
+		t.Skip("set DISQO_STRESS=<n> to run")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(12345)
+	if s := os.Getenv("DISQO_STRESS_SEED"); s != "" {
+		v, _ := strconv.Atoi(s)
+		seed = int64(v)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &queryGen{rng: rng}
+	for trial := 0; trial < 5; trial++ {
+		cat := randomRST(t, rng, 20+rng.Intn(30))
+		for i := 0; i < n; i++ {
+			sql := g.query()
+			stmt, err := sqlparser.Parse(sql)
+			if err != nil {
+				t.Fatalf("parse %q: %v", sql, err)
+			}
+			canonical, err := translate.New(cat).Translate(stmt)
+			if err != nil {
+				t.Fatalf("translate %q: %v", sql, err)
+			}
+			unnested, err := New(cat, AllCaps()).Rewrite(canonical)
+			if err != nil {
+				t.Fatalf("rewrite %q: %v", sql, err)
+			}
+			assertEquivalent(t, cat, canonical, unnested, sql)
+			if t.Failed() {
+				t.Fatalf("failing query (trial %d, i %d, seed %d): %s", trial, i, seed, sql)
+			}
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node; String reconstructs approximate SQL for error
+// messages and debugging.
+type Node interface {
+	String() string
+}
+
+// SelectStmt is one query block: SELECT [DISTINCT] items FROM refs
+// [WHERE pred] [ORDER BY keys]. A block nested inside another block's
+// WHERE clause appears as a SubqueryExpr / ExistsExpr / InExpr.
+type SelectStmt struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	// Limit caps the result when HasLimit is set (the zero value means
+	// no limit, so synthetic statements need no special-casing).
+	Limit    int64
+	HasLimit bool
+}
+
+// String implements Node.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.HasLimit {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// SelectItem is one select-list entry.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// String implements Node.
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef is one FROM entry: a base table with an optional alias, or a
+// derived table (a parenthesized subquery, which requires an alias).
+type TableRef struct {
+	Table    string
+	Alias    string
+	Subquery *SelectStmt
+}
+
+// Binding returns the range-variable name the reference introduces.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// String implements Node.
+func (t TableRef) String() string {
+	if t.Subquery != nil {
+		return "(" + t.Subquery.String() + ") " + t.Alias
+	}
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// String implements Node.
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// Expr is a SQL expression AST node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident is a possibly-qualified column reference.
+type Ident struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+func (*Ident) expr() {}
+
+// String implements Node.
+func (i *Ident) String() string {
+	if i.Qualifier != "" {
+		return i.Qualifier + "." + i.Name
+	}
+	return i.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+func (*IntLit) expr() {}
+
+// String implements Node.
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.Val) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Val float64 }
+
+func (*FloatLit) expr() {}
+
+// String implements Node.
+func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.Val) }
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+func (*StringLit) expr() {}
+
+// String implements Node.
+func (l *StringLit) String() string { return "'" + l.Val + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+func (*BoolLit) expr() {}
+
+// String implements Node.
+func (l *BoolLit) String() string {
+	if l.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// String implements Node.
+func (*NullLit) String() string { return "NULL" }
+
+// BinaryExpr covers comparisons, arithmetic, AND and OR; Op is the SQL
+// operator text ("=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/",
+// "AND", "OR").
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// String implements Node.
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// NotExpr is NOT e.
+type NotExpr struct{ E Expr }
+
+func (*NotExpr) expr() {}
+
+// String implements Node.
+func (n *NotExpr) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// LikeExpr is e [NOT] LIKE pattern.
+type LikeExpr struct {
+	L, Pattern Expr
+	Negated    bool
+}
+
+func (*LikeExpr) expr() {}
+
+// String implements Node.
+func (l *LikeExpr) String() string {
+	op := "LIKE"
+	if l.Negated {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, op, l.Pattern)
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E       Expr
+	Negated bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// String implements Node.
+func (i *IsNullExpr) String() string {
+	if i.Negated {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.E)
+}
+
+// BetweenExpr is e [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Negated   bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// String implements Node.
+func (b *BetweenExpr) String() string {
+	op := "BETWEEN"
+	if b.Negated {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", b.E, op, b.Lo, b.Hi)
+}
+
+// AggExpr is an aggregate function call: COUNT/SUM/AVG/MIN/MAX with
+// optional DISTINCT; COUNT additionally accepts * and DISTINCT *.
+type AggExpr struct {
+	Func     string // upper-case function name
+	Distinct bool
+	Star     bool
+	Arg      Expr // nil when Star
+}
+
+func (*AggExpr) expr() {}
+
+// String implements Node.
+func (a *AggExpr) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", a.Func, arg)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, arg)
+}
+
+// SubqueryExpr is a parenthesized query block used as a scalar value.
+type SubqueryExpr struct{ Stmt *SelectStmt }
+
+func (*SubqueryExpr) expr() {}
+
+// String implements Node.
+func (s *SubqueryExpr) String() string { return "(" + s.Stmt.String() + ")" }
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Negated bool
+	Stmt    *SelectStmt
+}
+
+func (*ExistsExpr) expr() {}
+
+// String implements Node.
+func (e *ExistsExpr) String() string {
+	if e.Negated {
+		return "NOT EXISTS (" + e.Stmt.String() + ")"
+	}
+	return "EXISTS (" + e.Stmt.String() + ")"
+}
+
+// QuantCmpExpr is a quantified comparison l θ ALL|SOME|ANY (subquery).
+type QuantCmpExpr struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">="
+	All  bool   // true for ALL, false for SOME/ANY
+	L    Expr
+	Stmt *SelectStmt
+}
+
+func (*QuantCmpExpr) expr() {}
+
+// String implements Node.
+func (q *QuantCmpExpr) String() string {
+	quant := "ANY"
+	if q.All {
+		quant = "ALL"
+	}
+	return fmt.Sprintf("(%s %s %s (%s))", q.L, q.Op, quant, q.Stmt)
+}
+
+// InExpr is l [NOT] IN (subquery).
+type InExpr struct {
+	L       Expr
+	Negated bool
+	Stmt    *SelectStmt
+}
+
+func (*InExpr) expr() {}
+
+// String implements Node.
+func (i *InExpr) String() string {
+	op := "IN"
+	if i.Negated {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", i.L, op, i.Stmt)
+}

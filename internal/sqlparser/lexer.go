@@ -1,0 +1,175 @@
+// Package sqlparser implements the SQL front end: a hand-written lexer
+// and recursive-descent parser for the dialect the paper's queries use —
+// SELECT [DISTINCT] over multiple range variables, WHERE with arbitrary
+// AND/OR/NOT nesting, comparison and LIKE predicates, arithmetic, scalar
+// subqueries with the five standard aggregates (plus DISTINCT variants),
+// quantified subqueries (EXISTS / IN and negations), and ORDER BY.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or non-reserved word.
+	TokIdent
+	// TokKeyword is a reserved word (normalized to upper case).
+	TokKeyword
+	// TokInt is an integer literal.
+	TokInt
+	// TokFloat is a floating-point literal.
+	TokFloat
+	// TokString is a single-quoted string literal (quotes stripped).
+	TokString
+	// TokOp is an operator or punctuation: = <> != < <= > >= + - * / ( ) , .
+	TokOp
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords are the reserved words of the dialect. Aggregate names are
+// deliberately NOT reserved so they can still appear as column names;
+// the parser recognizes them contextually before a parenthesis.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "LIKE": true, "IS": true,
+	"NULL": true, "EXISTS": true, "IN": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "AS": true, "TRUE": true, "FALSE": true,
+	"BETWEEN": true, "ALL": true, "SOME": true, "ANY": true,
+	"GROUP": true, "HAVING": true, "LIMIT": true,
+}
+
+// Lex tokenizes the input or reports the first lexical error.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if input[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			adv(1)
+		case c == '-' && i+1 < len(input) && input[i+1] == '-': // line comment
+			for i < len(input) && input[i] != '\n' {
+				adv(1)
+			}
+		case isIdentStart(rune(c)):
+			start, l0, c0 := i, line, col
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				adv(1)
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Line: l0, Col: c0})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: strings.ToLower(word), Line: l0, Col: c0})
+			}
+		case c >= '0' && c <= '9':
+			start, l0, c0 := i, line, col
+			kind := TokInt
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				adv(1)
+			}
+			if i+1 < len(input) && input[i] == '.' && input[i+1] >= '0' && input[i+1] <= '9' {
+				kind = TokFloat
+				adv(1)
+				for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+					adv(1)
+				}
+			}
+			toks = append(toks, Token{Kind: kind, Text: input[start:i], Line: l0, Col: c0})
+		case c == '\'':
+			l0, c0 := line, col
+			adv(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						adv(2)
+						continue
+					}
+					adv(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				adv(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql:%d:%d: unterminated string literal", l0, c0)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: l0, Col: c0})
+		default:
+			l0, c0 := line, col
+			two := ""
+			if i+1 < len(input) {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "!=", "<=", ">=":
+				op := two
+				if op == "!=" {
+					op = "<>"
+				}
+				adv(2)
+				toks = append(toks, Token{Kind: TokOp, Text: op, Line: l0, Col: c0})
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.':
+				adv(1)
+				toks = append(toks, Token{Kind: TokOp, Text: string(c), Line: l0, Col: c0})
+			default:
+				return nil, fmt.Errorf("sql:%d:%d: unexpected character %q", line, col, string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,88 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid SQL
+// and random token soup: every input must return a statement or an error,
+// never panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		paperQ1, paperQ2, paperQ2d,
+		"SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC",
+		"SELECT * FROM (SELECT a FROM t) x WHERE x.a > ALL (SELECT b FROM s)",
+		"SELECT a FROM t WHERE a NOT IN (SELECT b FROM s) AND b BETWEEN 1 AND 2",
+	}
+	tokens := []string{"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "(", ")",
+		",", "*", "=", "<", ">", "<>", "<=", ">=", "COUNT", "DISTINCT", "t",
+		"a", "1", "'x'", "IN", "EXISTS", "ALL", "ANY", "GROUP", "BY", "HAVING",
+		"ORDER", "LIKE", "IS", "NULL", "BETWEEN", ".", "+", "-", "/"}
+	rng := rand.New(rand.NewSource(2024))
+
+	tryParse := func(input string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", input, r)
+			}
+		}()
+		_, _ = Parse(input)
+	}
+
+	// Mutations: delete, duplicate, or swap random byte ranges of seeds.
+	for _, seed := range seeds {
+		for i := 0; i < 200; i++ {
+			b := []byte(seed)
+			switch rng.Intn(3) {
+			case 0: // delete a slice
+				if len(b) > 2 {
+					s := rng.Intn(len(b) - 1)
+					e := s + rng.Intn(len(b)-s)
+					b = append(b[:s], b[e:]...)
+				}
+			case 1: // duplicate a slice
+				if len(b) > 2 {
+					s := rng.Intn(len(b) - 1)
+					e := s + rng.Intn(len(b)-s)
+					b = append(b[:e], append(append([]byte{}, b[s:e]...), b[e:]...)...)
+				}
+			default: // flip a byte
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] = byte(rng.Intn(128))
+				}
+			}
+			tryParse(string(b))
+		}
+	}
+	// Random token soup.
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(25)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = tokens[rng.Intn(len(tokens))]
+		}
+		tryParse(strings.Join(parts, " "))
+	}
+}
+
+// TestLexerNeverPanics runs the lexer over random bytes.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = Lex(string(b))
+		}()
+	}
+}

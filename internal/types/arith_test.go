@@ -1,0 +1,123 @@
+package types
+
+import "testing"
+
+func TestArithIntegers(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b int64
+		want Value
+	}{
+		{Add, 2, 3, NewInt(5)},
+		{Sub, 2, 3, NewInt(-1)},
+		{Mul, 4, 3, NewInt(12)},
+		{Div, 7, 2, NewFloat(3.5)},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, NewInt(c.a), NewInt(c.b))
+		if err != nil {
+			t.Fatalf("%d %v %d: %v", c.a, c.op, c.b, err)
+		}
+		if !Identical(got, c.want) {
+			t.Errorf("%d %v %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithMixedAndFloat(t *testing.T) {
+	got, err := Arith(Add, NewInt(1), NewFloat(0.5))
+	if err != nil || !Identical(got, NewFloat(1.5)) {
+		t.Errorf("1 + 0.5 = %v (%v)", got, err)
+	}
+	got, err = Arith(Mul, NewFloat(2), NewFloat(2.5))
+	if err != nil || !Identical(got, NewFloat(5)) {
+		t.Errorf("2.0 * 2.5 = %v (%v)", got, err)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	for _, op := range []ArithOp{Add, Sub, Mul, Div} {
+		if got, err := Arith(op, Null(), NewInt(1)); err != nil || !got.IsNull() {
+			t.Errorf("NULL %v 1 = %v (%v)", op, got, err)
+		}
+		if got, err := Arith(op, NewInt(1), Null()); err != nil || !got.IsNull() {
+			t.Errorf("1 %v NULL = %v (%v)", op, got, err)
+		}
+	}
+}
+
+func TestArithDivisionByZero(t *testing.T) {
+	got, err := Arith(Div, NewInt(1), NewInt(0))
+	if err != nil || !got.IsNull() {
+		t.Errorf("1/0 = %v (%v), want NULL", got, err)
+	}
+	got, err = Arith(Div, NewFloat(1), NewFloat(0)) // float zero too
+	if err != nil || !got.IsNull() {
+		t.Errorf("1.0/0.0 = %v (%v), want NULL", got, err)
+	}
+}
+
+func TestArithTypeError(t *testing.T) {
+	if _, err := Arith(Add, NewString("a"), NewInt(1)); err == nil {
+		t.Error("adding a string must error")
+	}
+	if _, err := Arith(Mul, NewBool(true), NewInt(1)); err == nil {
+		t.Error("multiplying a bool must error")
+	}
+}
+
+func TestArithOpString(t *testing.T) {
+	want := map[ArithOp]string{Add: "+", Sub: "-", Mul: "*", Div: "/"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want TriBool
+	}{
+		{"ECONOMY ANODIZED BRASS", "%BRASS", True},
+		{"ECONOMY ANODIZED STEEL", "%BRASS", False},
+		{"BRASS", "%BRASS", True},
+		{"abc", "a_c", True},
+		{"abc", "a_d", False},
+		{"abc", "%", True},
+		{"", "%", True},
+		{"", "_", False},
+		{"abc", "abc", True},
+		{"abc", "ab", False},
+		{"aXbXc", "a%b%c", True},
+		{"mississippi", "%iss%pi", True},
+		{"mississippi", "%iss%pZ", False},
+		{"aaa", "a%a%a", True},
+	}
+	for _, c := range cases {
+		if got := Like(NewString(c.s), NewString(c.p)); got != c.want {
+			t.Errorf("Like(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+	if Like(Null(), NewString("%")) != Unknown {
+		t.Error("LIKE with NULL input must be Unknown")
+	}
+	if Like(NewString("x"), Null()) != Unknown {
+		t.Error("LIKE with NULL pattern must be Unknown")
+	}
+	if Like(NewInt(1), NewString("%")) != Unknown {
+		t.Error("LIKE on non-string must be Unknown")
+	}
+}
+
+func TestFormatTuple(t *testing.T) {
+	got := FormatTuple([]Value{NewInt(1), NewString("x"), Null()})
+	want := "(1, 'x', NULL)"
+	if got != want {
+		t.Errorf("FormatTuple = %q, want %q", got, want)
+	}
+	if FormatTuple(nil) != "()" {
+		t.Error("empty tuple must format as ()")
+	}
+}

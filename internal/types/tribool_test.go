@@ -1,0 +1,152 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTriBoolTables(t *testing.T) {
+	// Kleene truth tables.
+	and := [3][3]TriBool{
+		//        False    True     Unknown
+		/*F*/ {False, False, False},
+		/*T*/ {False, True, Unknown},
+		/*U*/ {False, Unknown, Unknown},
+	}
+	or := [3][3]TriBool{
+		/*F*/ {False, True, Unknown},
+		/*T*/ {True, True, True},
+		/*U*/ {Unknown, True, Unknown},
+	}
+	vals := []TriBool{False, True, Unknown}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != and[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, and[i][j])
+			}
+			if got := a.Or(b); got != or[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, or[i][j])
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("NOT table wrong")
+	}
+}
+
+func TestTriBoolStringAndIsTrue(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unknown.String() != "UNKNOWN" {
+		t.Error("TriBool.String wrong")
+	}
+	if !True.IsTrue() || False.IsTrue() || Unknown.IsTrue() {
+		t.Error("IsTrue wrong")
+	}
+}
+
+func TestTriBoolValueRoundTrip(t *testing.T) {
+	if TriFromValue(True.Value()) != True {
+		t.Error("True round trip")
+	}
+	if TriFromValue(False.Value()) != False {
+		t.Error("False round trip")
+	}
+	if TriFromValue(Unknown.Value()) != Unknown {
+		t.Error("Unknown round trip (NULL)")
+	}
+	if TriFromValue(NewInt(1)) != Unknown {
+		t.Error("non-bool value must map to Unknown")
+	}
+}
+
+func TestCompareOpStrings(t *testing.T) {
+	want := map[CompareOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestCompareOpNegateInvolution(t *testing.T) {
+	ops := []CompareOp{EQ, NE, LT, LE, GT, GE}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not an involution for %v", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("Flip not an involution for %v", op)
+		}
+	}
+}
+
+func TestCompareOpSemantics(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	cases := []struct {
+		op   CompareOp
+		want TriBool
+	}{
+		{EQ, False}, {NE, True}, {LT, True}, {LE, True}, {GT, False}, {GE, False},
+	}
+	for _, c := range cases {
+		if got := CompareValues(c.op, a, b); got != c.want {
+			t.Errorf("1 %v 2 = %v, want %v", c.op, got, c.want)
+		}
+	}
+	for _, op := range []CompareOp{EQ, NE, LT, LE, GT, GE} {
+		if CompareValues(op, Null(), b) != Unknown {
+			t.Errorf("NULL %v 2 must be Unknown", op)
+		}
+		if CompareValues(op, a, Null()) != Unknown {
+			t.Errorf("1 %v NULL must be Unknown", op)
+		}
+	}
+}
+
+func TestNegateFlipAgreeWithSemantics(t *testing.T) {
+	f := func(x, y int64) bool {
+		a, b := NewInt(x), NewInt(y)
+		for _, op := range []CompareOp{EQ, NE, LT, LE, GT, GE} {
+			if CompareValues(op, a, b).Not() != CompareValues(op.Negate(), a, b) {
+				return false
+			}
+			if CompareValues(op, a, b) != CompareValues(op.Flip(), b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderValuesTotalOrder(t *testing.T) {
+	vals := []Value{Null(), NewInt(-1), NewInt(0), NewFloat(0.5), NewInt(1),
+		NewString("a"), NewString("b"), NewBool(false), NewBool(true)}
+	// NULL first.
+	if OrderValues(Null(), NewInt(0)) != -1 || OrderValues(NewInt(0), Null()) != 1 {
+		t.Error("NULL must sort first")
+	}
+	if OrderValues(Null(), Null()) != 0 {
+		t.Error("NULL == NULL in ordering")
+	}
+	// Antisymmetry across the board.
+	for _, a := range vals {
+		for _, b := range vals {
+			if OrderValues(a, b) != -OrderValues(b, a) {
+				t.Errorf("OrderValues not antisymmetric on %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestOrderTuples(t *testing.T) {
+	a := []Value{NewInt(1), NewInt(2)}
+	b := []Value{NewInt(1), NewInt(3)}
+	if OrderTuples(a, b) != -1 || OrderTuples(b, a) != 1 || OrderTuples(a, a) != 0 {
+		t.Error("lexicographic compare wrong")
+	}
+	if OrderTuples(a[:1], a) != -1 {
+		t.Error("prefix must sort first")
+	}
+}

@@ -1,0 +1,286 @@
+// Package types implements the SQL value system used throughout disqo:
+// typed scalar values, NULL, three-valued logic, comparison, hashing, and
+// formatting. All operators, the expression evaluator, and the storage
+// layer exchange data as Value slices.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker; a NULL Value carries no payload.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float (SQL DOUBLE / DECIMAL stand-in).
+	KindFloat
+	// KindString is a variable-length character string.
+	KindString
+	// KindBool is a boolean (result of predicates stored as values).
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero Value is NULL.
+//
+// Value is a small value type passed by copy; only one payload field is
+// meaningful, selected by Kind.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics when v is not an integer;
+// callers must check Kind first (or use AsFloat for numeric coercion).
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics when v is not a float.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics when v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics when v is not a boolean.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an integer or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat coerces a numeric value to float64. The second result is false
+// for non-numeric values (including NULL).
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value the way the CLI and EXPLAIN output print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// Compare orders two non-NULL values: -1, 0, +1. Numeric values compare
+// across int/float. The boolean false sorts before true. Comparing a NULL
+// or incompatible kinds returns ok=false; SQL comparison semantics on
+// NULLs live in Compare3VL.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s), true
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0, true
+		case !a.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports strict SQL equality of two values; NULL never equals
+// anything (use Identical for grouping/dedup semantics).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical implements the "IS NOT DISTINCT FROM" relation used by
+// grouping, duplicate elimination, and set operations: NULL is identical
+// to NULL, and otherwise values are identical when they compare equal.
+func Identical(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Hash returns a 64-bit hash consistent with Identical: identical values
+// hash equally (ints and floats representing the same number collide on
+// purpose).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindInt, KindFloat:
+		// Numerically equal ints and floats must hash equally (they are
+		// Identical). Integral floats hash via their int64 form; all
+		// other numerics hash their float64 bit pattern.
+		var bits uint64
+		if v.kind == KindInt {
+			bits = uint64(v.i)
+		} else if f := v.f; f == math.Trunc(f) && f >= math.MinInt64 && f < math.MaxInt64 {
+			bits = uint64(int64(f))
+		} else {
+			bits = math.Float64bits(v.f)
+		}
+		mix(1)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	case KindString:
+		mix(2)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindBool:
+		mix(3)
+		if v.b {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// HashTuple combines the hashes of a value slice (a tuple or key prefix).
+func HashTuple(vs []Value) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range vs {
+		h = (h ^ v.Hash()) * prime64
+	}
+	return h
+}
+
+// TuplesIdentical reports element-wise Identical over two equal-length
+// value slices.
+func TuplesIdentical(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INTEGER",
+		KindFloat:  "DOUBLE",
+		KindString: "VARCHAR",
+		KindBool:   "BOOLEAN",
+		Kind(99):   "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("Int() = %d", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float() = %g", got)
+	}
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("Str() = %q", got)
+	}
+	if got := NewBool(true).Bool(); got != true {
+		t.Errorf("Bool() = %v", got)
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on a string must panic")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("AsFloat(int 3) = %g, %v", f, ok)
+	}
+	if f, ok := NewFloat(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("AsFloat(1.5) = %g, %v", f, ok)
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("AsFloat(string) must fail")
+	}
+	if _, ok := Null().AsFloat(); ok {
+		t.Error("AsFloat(NULL) must fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.25), "1.25"},
+		{NewString("hi"), "'hi'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(1), NewFloat(1.0), 0, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(2.5), NewInt(2), 1, true},
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{NewBool(true), NewBool(true), 0, true},
+		{Null(), NewInt(1), 0, false},
+		{NewInt(1), Null(), 0, false},
+		{NewInt(1), NewString("1"), 0, false},
+		{NewBool(true), NewInt(1), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d, %v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestEqualVsIdentical(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Error("Equal(NULL, NULL) must be false")
+	}
+	if !Identical(Null(), Null()) {
+		t.Error("Identical(NULL, NULL) must be true")
+	}
+	if Identical(Null(), NewInt(0)) {
+		t.Error("Identical(NULL, 0) must be false")
+	}
+	if !Identical(NewInt(5), NewFloat(5)) {
+		t.Error("Identical(5, 5.0) must be true")
+	}
+	if Identical(NewInt(5), NewString("5")) {
+		t.Error("Identical(5, '5') must be false")
+	}
+}
+
+func TestHashConsistentWithIdentical(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewFloat(7)},
+		{Null(), Null()},
+		{NewString("abc"), NewString("abc")},
+		{NewBool(true), NewBool(true)},
+		{NewFloat(-0.0), NewFloat(0.0)},
+		{NewInt(0), NewFloat(-0.0)},
+	}
+	for _, p := range pairs {
+		if !Identical(p[0], p[1]) {
+			t.Errorf("expected Identical(%v, %v)", p[0], p[1])
+			continue
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Hash mismatch for identical values %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestHashDistributes(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		h := NewInt(i).Hash()
+		if seen[h] {
+			t.Fatalf("hash collision within 1000 consecutive ints at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashIdenticalProperty(t *testing.T) {
+	f := func(x int64) bool {
+		a, b := NewInt(x), NewFloat(float64(x))
+		if float64(x) != math.Trunc(float64(x)) {
+			return true
+		}
+		if int64(float64(x)) != x {
+			return true // not exactly representable; Identical may still hold but skip
+		}
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTupleOrderSensitive(t *testing.T) {
+	a := []Value{NewInt(1), NewInt(2)}
+	b := []Value{NewInt(2), NewInt(1)}
+	if HashTuple(a) == HashTuple(b) {
+		t.Error("HashTuple should be order-sensitive")
+	}
+	if HashTuple(a) != HashTuple([]Value{NewInt(1), NewInt(2)}) {
+		t.Error("HashTuple must be deterministic")
+	}
+}
+
+func TestTuplesIdentical(t *testing.T) {
+	a := []Value{NewInt(1), Null()}
+	b := []Value{NewInt(1), Null()}
+	c := []Value{NewInt(1), NewInt(0)}
+	if !TuplesIdentical(a, b) {
+		t.Error("identical tuples not recognized")
+	}
+	if TuplesIdentical(a, c) {
+		t.Error("distinct tuples reported identical")
+	}
+	if TuplesIdentical(a, a[:1]) {
+		t.Error("length mismatch must not be identical")
+	}
+}

@@ -10,6 +10,8 @@
 //	bench -exp fig7a,fig7c        # several
 //	bench -scale 0.05 -timeout 30s -strategies canonical,unnested
 //	bench -repeat 3               # keep the fastest of three runs
+//	bench -exp fig7a -workers 4   # run with a 4-worker morsel pool
+//	bench -exp workers -workers 1,2,4   # 1-vs-N parallel speedup sweep
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-cell timeout (cells over it print n/a)")
 		strategies = flag.String("strategies", "", "comma-separated strategies (default: all of s1,s2,s3,canonical,unnested)")
 		repeat     = flag.Int("repeat", 1, "runs per cell; the fastest is kept")
+		workers    = flag.String("workers", "", "morsel-parallel worker counts: one value applies to every experiment, a comma list drives the 'workers' sweep (default: GOMAXPROCS)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		asJSON     = flag.Bool("json", false, "emit results as JSON instead of tables")
 	)
@@ -40,6 +43,17 @@ func main() {
 		Timeout:  *timeout,
 		RSTScale: *scale,
 		Repeat:   *repeat,
+	}
+	var workerList []int
+	for _, s := range splitList(*workers) {
+		var w int
+		if _, err := fmt.Sscanf(s, "%d", &w); err != nil || w < 1 {
+			fatalf("bad worker count %q", s)
+		}
+		workerList = append(workerList, w)
+	}
+	if len(workerList) == 1 {
+		cfg.Workers = workerList[0]
 	}
 	for _, s := range splitList(*tpchSFs) {
 		var sf float64
@@ -62,7 +76,13 @@ func main() {
 	fmt.Printf("disqo benchmark harness — RST scale ×%g (paper SF1 = %d rows here), timeout %s\n\n",
 		*scale, int(10000**scale), *timeout)
 	for _, id := range splitList(*exps) {
-		tab, err := harness.Run(id, cfg, progress)
+		var tab *harness.Table
+		var err error
+		if id == "workers" {
+			tab, err = harness.WorkerSweep(cfg, workerList, progress)
+		} else {
+			tab, err = harness.Run(id, cfg, progress)
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "\r\033[K")
 		}
@@ -78,6 +98,15 @@ func main() {
 			continue
 		}
 		fmt.Println(tab.Format())
+		if id == "workers" && len(tab.Params) > 1 {
+			first := tab.Cells[disqo.Unnested][tab.Params[0]]
+			last := tab.Cells[disqo.Unnested][tab.Params[len(tab.Params)-1]]
+			if first.Seconds > 0 && last.Seconds > 0 {
+				fmt.Printf("speedup %s vs %s: %.2fx (results verified identical)\n\n",
+					tab.Params[0], tab.Params[len(tab.Params)-1], first.Seconds/last.Seconds)
+			}
+			continue
+		}
 		if sp := tab.Speedups(); len(sp) > 0 {
 			best := 0.0
 			for _, v := range sp {

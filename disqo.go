@@ -36,6 +36,7 @@ import (
 	"disqo/internal/catalog"
 	"disqo/internal/datagen"
 	"disqo/internal/exec"
+	"disqo/internal/physical"
 	"disqo/internal/rewrite"
 	"disqo/internal/sqlparser"
 	"disqo/internal/stats"
@@ -190,6 +191,7 @@ type queryConfig struct {
 	strategy  Strategy
 	timeout   time.Duration
 	maxTuples int64
+	workers   int
 }
 
 // Option configures a single Query or Explain call.
@@ -211,6 +213,15 @@ func WithTimeout(d time.Duration) Option {
 // plans whose intermediate results outgrow memory.
 func WithTupleLimit(n int64) Option {
 	return func(c *queryConfig) { c.maxTuples = n }
+}
+
+// WithWorkers sets the morsel-parallel worker pool size (default:
+// GOMAXPROCS). Hot operators — scans, filters, both σ± streams, hash
+// join build and probe, grouping — split large inputs into fixed-size
+// morsels claimed by the pool; 1 forces sequential execution. Results
+// are deterministic: every worker count produces byte-identical output.
+func WithWorkers(n int) Option {
+	return func(c *queryConfig) { c.workers = n }
 }
 
 // ErrTimeout is returned when a query exceeds its WithTimeout deadline.
@@ -359,7 +370,7 @@ func (db *DB) planCostBased(canonical algebra.Op) (algebra.Op, []string, error) 
 
 // execOptions maps a strategy to executor options.
 func execOptions(cfg queryConfig) exec.Options {
-	opt := exec.Options{Cache: exec.CacheAll, Timeout: cfg.timeout, MaxTuples: cfg.maxTuples}
+	opt := exec.Options{Cache: exec.CacheAll, Timeout: cfg.timeout, MaxTuples: cfg.maxTuples, Workers: cfg.workers}
 	switch cfg.strategy {
 	case S1:
 		opt.Cache = exec.CacheNone
@@ -671,8 +682,9 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 }
 
 // Explain returns a textual description of the plan a strategy would
-// execute: the canonical translation, the optimized plan, and the list of
-// applied rewrites.
+// execute: the canonical translation, the optimized logical plan, the
+// physical plan the executor would run (algorithm choices and estimated
+// cardinalities), and the list of applied rewrites.
 func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 	cfg := queryConfig{strategy: Unnested}
 	for _, o := range opts {
@@ -702,6 +714,12 @@ func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 			return fmt.Sprintf("(est %.0f rows)", est.Cardinality(op))
 		}))
 	}
+	phys, err := physical.NewPlanner(stats.New(db.cat)).Lower(plan)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\n== physical plan ==\n")
+	b.WriteString(physical.Explain(phys))
 	if len(trace) > 0 {
 		b.WriteString("\n== applied rewrites ==\n")
 		for _, tr := range trace {

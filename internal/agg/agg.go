@@ -163,6 +163,9 @@ type Acc struct {
 	first bool
 	best  types.Value // MIN/MAX running value
 	seen  map[uint64][][]types.Value
+	// order logs DISTINCT insertions in arrival order so Merge can
+	// replay them deterministically (float sums are order-sensitive).
+	order [][]types.Value
 }
 
 // NewAcc returns a fresh accumulator for the spec.
@@ -234,7 +237,59 @@ func (a *Acc) dup(args []types.Value) bool {
 	}
 	key := append([]types.Value(nil), args...)
 	a.seen[h] = append(a.seen[h], key)
+	a.order = append(a.order, key)
 	return false
+}
+
+// Merge folds another accumulator of the same spec into this one, as if
+// o's inputs had been Added after a's. The executor's morsel-parallel
+// grouping merges per-morsel partials in morsel order, so the fold
+// order — and therefore any float rounding — is independent of the
+// worker count. DISTINCT accumulators replay o's insertion log through
+// Add; the rest combine their counters directly.
+func (a *Acc) Merge(o *Acc) {
+	if a.spec != o.spec {
+		panic(fmt.Sprintf("agg: merging %s into %s", o.spec, a.spec))
+	}
+	if a.spec.Distinct {
+		for _, args := range o.order {
+			a.Add(args)
+		}
+		return
+	}
+	a.count += o.count
+	switch a.spec.Kind {
+	case Sum, Avg:
+		if a.isInt && !o.isInt {
+			a.sum = float64(a.sumI)
+			a.isInt = false
+		}
+		if a.isInt {
+			a.sumI += o.sumI
+		} else if o.isInt {
+			a.sum += float64(o.sumI)
+		} else {
+			a.sum += o.sum
+		}
+	case Min:
+		if !o.first {
+			if a.first {
+				a.best = o.best
+				a.first = false
+			} else if c, ok := types.Compare(o.best, a.best); ok && c < 0 {
+				a.best = o.best
+			}
+		}
+	case Max:
+		if !o.first {
+			if a.first {
+				a.best = o.best
+				a.first = false
+			} else if c, ok := types.Compare(o.best, a.best); ok && c > 0 {
+				a.best = o.best
+			}
+		}
+	}
 }
 
 // Result returns the aggregate value; on an empty (post-NULL-filtering)

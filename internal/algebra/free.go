@@ -42,6 +42,62 @@ func exprsOf(op Op) []Expr {
 	}
 }
 
+// Exprs returns the expressions attached directly to an operator — the
+// exported view physical lowering uses to find nested subquery plans.
+func Exprs(op Op) []Expr { return exprsOf(op) }
+
+// Subplans returns every nested query-block plan embedded in the
+// expression, at any depth, in left-to-right discovery order. It does
+// not descend into the subplans themselves; callers recurse via the
+// plans' own operators when they need the full closure.
+func Subplans(e Expr) []Op {
+	var out []Op
+	collectSubplans(e, &out)
+	return out
+}
+
+func collectSubplans(e Expr, out *[]Op) {
+	switch x := e.(type) {
+	case *ScalarSubquery:
+		*out = append(*out, x.Plan)
+		if x.Arg != nil {
+			collectSubplans(x.Arg, out)
+		}
+	case *QuantSubquery:
+		if x.L != nil {
+			collectSubplans(x.L, out)
+		}
+		*out = append(*out, x.Plan)
+	case *AllAnyExpr:
+		if x.L != nil {
+			collectSubplans(x.L, out)
+		}
+		*out = append(*out, x.Plan)
+	case *CmpExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.R, out)
+	case *AndExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.R, out)
+	case *OrExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.R, out)
+	case *NotExpr:
+		collectSubplans(x.E, out)
+	case *ArithExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.R, out)
+	case *LikeExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.Pattern, out)
+	case *IsNullExpr:
+		collectSubplans(x.E, out)
+	case *AggCombineExpr:
+		collectSubplans(x.L, out)
+		collectSubplans(x.R, out)
+	}
+}
+
 // FreeColumns returns the sorted, deduplicated set of attribute names the
 // plan references but does not itself produce — the correlation
 // attributes when the plan is a nested query block. F(e) in the paper's

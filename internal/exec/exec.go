@@ -1,12 +1,23 @@
+// Package exec evaluates physical plans (internal/physical) against a
+// catalog. The executor is an interpreter over materialized relations:
+// Run lowers the logical plan once through the physical planner — which
+// owns every algorithm choice — and then evaluates the physical tree,
+// memoizing shared DAG subplans and spreading the hot per-tuple loops
+// over a morsel-parallel worker pool (Options.Workers).
 package exec
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"disqo/internal/algebra"
 	"disqo/internal/catalog"
+	"disqo/internal/physical"
+	"disqo/internal/stats"
 	"disqo/internal/storage"
 	"disqo/internal/types"
 )
@@ -40,7 +51,7 @@ const (
 )
 
 // Options tune the executor. The zero value is the weakest baseline: no
-// caching at all.
+// caching at all, one worker per CPU.
 type Options struct {
 	// Cache selects how much cross-tuple memoization happens during
 	// correlated subquery evaluation.
@@ -53,10 +64,16 @@ type Options struct {
 	// being built) exceeds it; zero means no limit. Transient per-tuple
 	// subquery results do not count — they are released immediately.
 	MaxTuples int64
+	// Workers is the morsel-parallel worker pool size; <= 0 means
+	// GOMAXPROCS. Hot operators split inputs of at least two morsels
+	// (2×1024 tuples) across the pool; 1 disables parallelism.
+	Workers int
 }
 
 // Stats counts work done by one execution, letting tests and benchmarks
-// compare strategies by effort rather than wall clock alone.
+// compare strategies by effort rather than wall clock alone. Under
+// parallel execution the counters are sharded per worker and merged
+// after every parallel region, so totals are worker-count independent.
 type Stats struct {
 	Comparisons   int64 // predicate comparisons evaluated
 	TuplesOut     int64 // tuples materialized across all operators
@@ -67,38 +84,70 @@ type Stats struct {
 	OpEvals       int64 // operator evaluations (after memoization)
 }
 
-// Executor evaluates algebra plans against a catalog.
+// merge folds a worker shard into the parent's counters.
+func (s *Stats) merge(o *Stats) {
+	s.Comparisons += o.Comparisons
+	s.TuplesOut += o.TuplesOut
+	s.SubqueryEvals += o.SubqueryEvals
+	s.HashJoins += o.HashJoins
+	s.NLJoins += o.NLJoins
+	s.SortedGroups += o.SortedGroups
+	s.OpEvals += o.OpEvals
+}
+
+// Executor evaluates plans against a catalog. One Executor owns one
+// physical planner and one shared memo; worker clones created for
+// parallel regions share both through sharedState and keep private
+// Stats shards.
 type Executor struct {
-	cat   *catalog.Catalog
-	opt   Options
-	stats Stats
-
-	memo       map[memoKey]*storage.Relation
-	correlated map[algebra.Op]bool
-	resident   int64 // tuples pinned by the memo
-
-	opRows  map[algebra.Op]int64 // per-operator output rows (last eval)
-	opCalls map[algebra.Op]int64 // per-operator evaluation count
+	cat     *catalog.Catalog
+	opt     Options
+	stats   Stats
+	planner *physical.Planner
+	sh      *sharedState
 
 	deadline time.Time
 	ticks    int
+	isWorker bool // worker clones never fan out again (no nested pools)
+}
+
+// sharedState is the cross-worker state: the DAG/subquery memo, the
+// per-operator row accounting EXPLAIN ANALYZE reads, and the abort
+// latch that propagates cancellation (timeout, budget, eval errors) to
+// every worker.
+type sharedState struct {
+	mu         sync.Mutex
+	memo       map[memoKey]*storage.Relation
+	correlated map[algebra.Op]bool
+	opRows     map[algebra.Op]int64 // per-operator output rows (last eval)
+	opCalls    map[algebra.Op]int64 // per-operator evaluation count
+
+	resident atomic.Int64 // tuples pinned by the memo
+	aborted  atomic.Bool  // latch polled by every worker's tick
+	abortErr error        // first fatal error; guarded by mu
 }
 
 type memoKey struct {
-	op   algebra.Op
+	n    physical.Node
 	pos  bool // stream side for bypass operators
 	side uint8
 }
 
 // New returns an executor over the catalog.
 func New(cat *catalog.Catalog, opt Options) *Executor {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Executor{
-		cat:        cat,
-		opt:        opt,
-		memo:       make(map[memoKey]*storage.Relation),
-		correlated: make(map[algebra.Op]bool),
-		opRows:     make(map[algebra.Op]int64),
-		opCalls:    make(map[algebra.Op]int64),
+		cat:     cat,
+		opt:     opt,
+		planner: physical.NewPlanner(stats.New(cat)),
+		sh: &sharedState{
+			memo:       make(map[memoKey]*storage.Relation),
+			correlated: make(map[algebra.Op]bool),
+			opRows:     make(map[algebra.Op]int64),
+			opCalls:    make(map[algebra.Op]int64),
+		},
 	}
 }
 
@@ -109,48 +158,117 @@ func (ex *Executor) Stats() Stats { return ex.stats }
 // times it was evaluated (canonical nested-loop plans evaluate correlated
 // subplans once per outer tuple).
 func (ex *Executor) OpStats(op algebra.Op) (rows, calls int64) {
-	return ex.opRows[op], ex.opCalls[op]
+	ex.sh.mu.Lock()
+	defer ex.sh.mu.Unlock()
+	return ex.sh.opRows[op], ex.sh.opCalls[op]
+}
+
+// Plan lowers a logical plan through the executor's physical planner
+// without running it — the physical tree Run would evaluate.
+func (ex *Executor) Plan(plan algebra.Op) (physical.Node, error) {
+	return ex.physFor(plan)
 }
 
 // Run evaluates a plan top-level (no outer bindings).
 func (ex *Executor) Run(plan algebra.Op) (*storage.Relation, error) {
+	root, err := ex.physFor(plan)
+	if err != nil {
+		return nil, err
+	}
 	if ex.opt.Timeout > 0 {
 		ex.deadline = time.Now().Add(ex.opt.Timeout)
 	} else {
 		ex.deadline = time.Time{}
 	}
-	return ex.eval(plan, nil)
+	ex.sh.clearAbort()
+	return ex.eval(root, nil)
 }
 
-// tick checks the deadline every few thousand inner-loop iterations.
+// physFor resolves (or lowers on demand) the physical node for a
+// logical operator. Subquery plans reachable from a lowered root are
+// pre-lowered by the planner, so during evaluation this is a map hit;
+// the lock makes the stray on-demand case (expressions evaluated via
+// EvalExpr without a prior Run) safe too.
+func (ex *Executor) physFor(op algebra.Op) (physical.Node, error) {
+	ex.sh.mu.Lock()
+	defer ex.sh.mu.Unlock()
+	if n, ok := ex.planner.NodeFor(op); ok {
+		return n, nil
+	}
+	return ex.planner.Lower(op)
+}
+
+// tick checks the abort latch and the deadline every few thousand
+// inner-loop iterations.
 func (ex *Executor) tick() error {
 	ex.ticks++
 	if ex.ticks&0xfff != 0 {
 		return nil
 	}
+	return ex.slowTick()
+}
+
+func (ex *Executor) slowTick() error {
+	if ex.sh.aborted.Load() {
+		return ex.sh.abortError()
+	}
 	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
-		return ErrTimeout
+		return ex.fail(ErrTimeout)
 	}
 	return nil
+}
+
+// fail records the first fatal error and flips the abort latch every
+// worker polls, so cancellation propagates across the pool and the
+// query returns the sentinel, never a partial result.
+func (ex *Executor) fail(err error) error {
+	ex.sh.mu.Lock()
+	defer ex.sh.mu.Unlock()
+	if ex.sh.abortErr == nil {
+		ex.sh.abortErr = err
+	}
+	ex.sh.aborted.Store(true)
+	return ex.sh.abortErr
+}
+
+func (sh *sharedState) abortError() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.abortErr == nil {
+		return errors.New("exec: aborted")
+	}
+	return sh.abortErr
+}
+
+func (sh *sharedState) clearAbort() {
+	sh.mu.Lock()
+	sh.abortErr = nil
+	sh.mu.Unlock()
+	sh.aborted.Store(false)
 }
 
 // checkBudget enforces the tuple budget against rows pending inside a
 // long-running operator, so a single quadratic join cannot exhaust
 // memory before returning.
 func (ex *Executor) checkBudget(pending int) error {
-	if ex.opt.MaxTuples > 0 && ex.resident+int64(pending) > ex.opt.MaxTuples {
-		return ErrMemoryLimit
+	if ex.opt.MaxTuples > 0 && ex.sh.resident.Load()+int64(pending) > ex.opt.MaxTuples {
+		return ex.fail(ErrMemoryLimit)
 	}
 	return nil
 }
 
 // isCorrelated caches algebra.Correlated per node.
 func (ex *Executor) isCorrelated(op algebra.Op) bool {
-	if c, ok := ex.correlated[op]; ok {
+	ex.sh.mu.Lock()
+	if c, ok := ex.sh.correlated[op]; ok {
+		ex.sh.mu.Unlock()
 		return c
 	}
-	c := algebra.Correlated(op)
-	ex.correlated[op] = c
+	ex.sh.mu.Unlock()
+	c := algebra.Correlated(op) // pure; computed outside the lock
+	ex.sh.mu.Lock()
+	ex.sh.correlated[op] = c
+	ex.sh.mu.Unlock()
 	return c
 }
 
@@ -158,15 +276,15 @@ func (ex *Executor) isCorrelated(op algebra.Op) bool {
 // memoization is allowed in the current context: at top level (env==nil)
 // DAG sharing always requires the memo; under an environment the cache
 // mode decides how much may be reused across outer tuples.
-func (ex *Executor) cacheable(op algebra.Op, env *Env) bool {
+func (ex *Executor) cacheable(n physical.Node, env *Env) bool {
 	if env == nil {
 		return true
 	}
 	switch ex.opt.Cache {
 	case CacheAll:
-		return !ex.isCorrelated(op)
+		return !ex.isCorrelated(n.Logical())
 	case CacheScans:
-		_, isScan := op.(*algebra.Scan)
+		_, isScan := n.(*physical.Scan)
 		return isScan
 	default:
 		return false
@@ -174,91 +292,103 @@ func (ex *Executor) cacheable(op algebra.Op, env *Env) bool {
 }
 
 // eval evaluates one node with memoization.
-func (ex *Executor) eval(op algebra.Op, env *Env) (*storage.Relation, error) {
+func (ex *Executor) eval(n physical.Node, env *Env) (*storage.Relation, error) {
 	if err := ex.tick(); err != nil {
 		return nil, err
 	}
-	key := memoKey{op: op}
-	if s, ok := op.(*algebra.Stream); ok {
-		// Streams delegate to the shared bypass node with a side tag.
-		key = memoKey{op: s.Source, pos: s.Positive, side: 1}
+	key := memoKey{n: n}
+	if s, ok := n.(*physical.Stream); ok && !s.Fused() {
+		// Streams delegate to the shared bypass node with a side tag, so
+		// distinct Stream nodes over one bypass operator share results.
+		key = memoKey{n: s.Source, pos: s.Positive, side: 1}
 	}
-	cacheable := ex.cacheable(op, env)
+	logical := n.Logical()
+	cacheable := ex.cacheable(n, env)
 	if cacheable {
-		if rel, ok := ex.memo[key]; ok {
+		ex.sh.mu.Lock()
+		if rel, ok := ex.sh.memo[key]; ok {
 			// Credit one evaluation to nodes whose result arrived through
 			// a shared bypass evaluation, so EXPLAIN ANALYZE has a row
 			// count for them.
-			if ex.opCalls[op] == 0 {
-				ex.opRows[op] = int64(rel.Cardinality())
-				ex.opCalls[op] = 1
+			if ex.sh.opCalls[logical] == 0 {
+				ex.sh.opRows[logical] = int64(rel.Cardinality())
+				ex.sh.opCalls[logical] = 1
 			}
+			ex.sh.mu.Unlock()
 			return rel, nil
 		}
+		ex.sh.mu.Unlock()
 	}
-	rel, err := ex.evalRaw(op, env)
+	rel, err := ex.evalNode(n, env)
 	if err != nil {
 		return nil, err
 	}
 	ex.stats.OpEvals++
 	ex.stats.TuplesOut += int64(rel.Cardinality())
-	ex.opRows[op] = int64(rel.Cardinality())
-	ex.opCalls[op]++
+	ex.sh.mu.Lock()
+	ex.sh.opRows[logical] = int64(rel.Cardinality())
+	ex.sh.opCalls[logical]++
+	ex.sh.mu.Unlock()
 	if err := ex.checkBudget(rel.Cardinality()); err != nil {
 		return nil, err
 	}
 	if cacheable {
-		ex.memo[key] = rel
-		ex.resident += int64(rel.Cardinality())
+		ex.sh.mu.Lock()
+		if cached, dup := ex.sh.memo[key]; dup {
+			// Another worker stored it first; converge on one instance.
+			rel = cached
+		} else {
+			ex.sh.memo[key] = rel
+			ex.sh.resident.Add(int64(rel.Cardinality()))
+		}
+		ex.sh.mu.Unlock()
 	}
 	return rel, nil
 }
 
-func (ex *Executor) evalRaw(op algebra.Op, env *Env) (*storage.Relation, error) {
-	switch x := op.(type) {
-	case *algebra.Scan:
+func (ex *Executor) evalNode(n physical.Node, env *Env) (*storage.Relation, error) {
+	switch x := n.(type) {
+	case *physical.Scan:
 		return ex.evalScan(x)
-	case *algebra.Select:
-		return ex.evalSelect(x, env)
-	case *algebra.BypassSelect:
+	case *physical.Filter:
+		return ex.evalFilter(x, env)
+	case *physical.BypassFilter:
 		// Reached only via Stream nodes; evaluating the bare node is a
 		// plan bug.
 		return nil, fmt.Errorf("exec: bypass selection must be consumed through Stream nodes")
-	case *algebra.BypassJoin:
+	case *physical.BypassJoin:
 		return nil, fmt.Errorf("exec: bypass join must be consumed through Stream nodes")
-	case *algebra.Stream:
+	case *physical.Stream:
 		return ex.evalStream(x, env)
-	case *algebra.Project:
+	case *physical.Project:
 		return ex.evalProject(x, env)
-	case *algebra.Rename:
+	case *physical.Rename:
 		return ex.evalRename(x, env)
-	case *algebra.MapOp:
+	case *physical.Map:
 		return ex.evalMap(x, env)
-	case *algebra.Number:
+	case *physical.Number:
 		return ex.evalNumber(x, env)
-	case *algebra.CrossProduct:
-		return ex.evalCross(x, env)
-	case *algebra.Join:
-		return ex.evalJoin(x, env)
-	case *algebra.LeftOuterJoin:
+	case *physical.HashJoin:
+		return ex.evalHashJoin(x, env)
+	case *physical.NLJoin:
+		return ex.evalNLJoin(x, env)
+	case *physical.OuterJoin:
 		return ex.evalOuterJoin(x, env)
-	case *algebra.SemiJoin:
-		return ex.evalSemiJoin(x.L, x.R, x.Pred, false, env)
-	case *algebra.AntiJoin:
-		return ex.evalSemiJoin(x.L, x.R, x.Pred, true, env)
-	case *algebra.GroupBy:
-		return ex.evalGroupBy(x, env)
-	case *algebra.BinaryGroup:
-		return ex.evalBinaryGroup(x, env)
-	case *algebra.UnionDisjoint:
+	case *physical.Group:
+		return ex.evalGroup(x, env)
+	case *physical.BinaryGroupHash:
+		return ex.evalBinaryGroupHash(x, env)
+	case *physical.BinaryGroupSort:
+		return ex.evalBinaryGroupSorted(x, env)
+	case *physical.BinaryGroupNL:
+		return ex.evalBinaryGroupNL(x, env)
+	case *physical.Union:
 		return ex.evalConcat(x.L, x.R, x.Schema(), env)
-	case *algebra.UnionAll:
-		return ex.evalConcat(x.L, x.R, x.Schema(), env)
-	case *algebra.Distinct:
+	case *physical.Distinct:
 		return ex.evalDistinct(x, env)
-	case *algebra.Sort:
+	case *physical.Sort:
 		return ex.evalSort(x, env)
-	case *algebra.Limit:
+	case *physical.Limit:
 		in, err := ex.eval(x.Child, env)
 		if err != nil {
 			return nil, err
@@ -268,11 +398,11 @@ func (ex *Executor) evalRaw(op algebra.Op, env *Env) (*storage.Relation, error) 
 		}
 		return &storage.Relation{Schema: in.Schema, Tuples: in.Tuples[:x.N]}, nil
 	default:
-		return nil, fmt.Errorf("exec: unsupported operator %T", op)
+		return nil, fmt.Errorf("exec: unsupported physical operator %T", n)
 	}
 }
 
-func (ex *Executor) evalScan(s *algebra.Scan) (*storage.Relation, error) {
+func (ex *Executor) evalScan(s *physical.Scan) (*storage.Relation, error) {
 	tbl, err := ex.cat.Lookup(s.Table)
 	if err != nil {
 		return nil, err
@@ -285,101 +415,124 @@ func (ex *Executor) evalScan(s *algebra.Scan) (*storage.Relation, error) {
 	return &storage.Relation{Schema: s.Schema(), Tuples: tbl.Rel.Tuples}, nil
 }
 
-func (ex *Executor) evalSelect(s *algebra.Select, env *Env) (*storage.Relation, error) {
-	// Fuse σ over the negative stream of a bypass join so the complement
-	// pairs are filtered during enumeration instead of being
-	// materialized first (Eqv. 5's σ_p(R ⋈− S) shape).
-	if st, ok := s.Child.(*algebra.Stream); ok && !st.Positive {
-		if bj, ok := st.Source.(*algebra.BypassJoin); ok {
-			return ex.evalBypassJoinNeg(bj, s.Pred, env)
-		}
+func (ex *Executor) evalFilter(f *physical.Filter, env *Env) (*storage.Relation, error) {
+	in, err := ex.eval(f.Child, env)
+	if err != nil {
+		return nil, err
 	}
-	in, err := ex.eval(s.Child, env)
+	chunks, err := parMorsels(ex, len(in.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, t := range in.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				keep, err := w.EvalPred(f.Pred, Bind(env, in.Schema, t))
+				if err != nil {
+					return nil, err
+				}
+				if keep.IsTrue() {
+					out = append(out, t)
+				}
+			}
+			return out, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	out := storage.NewRelation(in.Schema)
-	for _, t := range in.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		keep, err := ex.EvalPred(s.Pred, Bind(env, in.Schema, t))
-		if err != nil {
-			return nil, err
-		}
-		if keep.IsTrue() {
-			out.Tuples = append(out.Tuples, t)
-		}
-	}
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }
 
-func (ex *Executor) evalStream(s *algebra.Stream, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation, error) {
 	switch src := s.Source.(type) {
-	case *algebra.BypassSelect:
-		pos, neg, err := ex.evalBypassSelect(src, env)
+	case *physical.BypassFilter:
+		pos, neg, err := ex.evalBypassFilter(src, env)
 		if err != nil {
 			return nil, err
 		}
 		// Cache both sides if permitted; eval() caches the requested one.
 		if ex.cacheable(s, env) {
-			ex.memo[memoKey{op: src, pos: true, side: 1}] = pos
-			ex.memo[memoKey{op: src, pos: false, side: 1}] = neg
+			ex.sh.mu.Lock()
+			ex.sh.storeIfAbsent(memoKey{n: src, pos: true, side: 1}, pos)
+			ex.sh.storeIfAbsent(memoKey{n: src, pos: false, side: 1}, neg)
+			ex.sh.mu.Unlock()
 		}
 		if s.Positive {
 			return pos, nil
 		}
 		return neg, nil
-	case *algebra.BypassJoin:
+	case *physical.BypassJoin:
 		if s.Positive {
 			return ex.evalBypassJoinPos(src, env)
 		}
-		return ex.evalBypassJoinNeg(src, nil, env)
+		return ex.evalBypassJoinNeg(src, s, env)
 	default:
 		return nil, fmt.Errorf("exec: Stream over non-bypass operator %T", s.Source)
 	}
 }
 
-// evalBypassSelect partitions the input into (TRUE, not-TRUE) — the σ±
-// of Fig. 1.
-func (ex *Executor) evalBypassSelect(s *algebra.BypassSelect, env *Env) (pos, neg *storage.Relation, err error) {
+// storeIfAbsent memoizes a relation unless the key is already present;
+// the caller holds sh.mu.
+func (sh *sharedState) storeIfAbsent(key memoKey, rel *storage.Relation) {
+	if _, ok := sh.memo[key]; !ok {
+		sh.memo[key] = rel
+		sh.resident.Add(int64(rel.Cardinality()))
+	}
+}
+
+// evalBypassFilter partitions the input into (TRUE, not-TRUE) — the σ±
+// of Fig. 1 — in a single pass over morsels.
+func (ex *Executor) evalBypassFilter(s *physical.BypassFilter, env *Env) (pos, neg *storage.Relation, err error) {
 	in, err := ex.eval(s.Child, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	type split struct {
+		pos, neg [][]types.Value
+	}
+	chunks, err := parMorsels(ex, len(in.Tuples), false,
+		func(w *Executor, lo, hi int) (split, error) {
+			var out split
+			for _, t := range in.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return split{}, err
+				}
+				keep, err := w.EvalPred(s.Pred, Bind(env, in.Schema, t))
+				if err != nil {
+					return split{}, err
+				}
+				if keep.IsTrue() {
+					out.pos = append(out.pos, t)
+				} else {
+					out.neg = append(out.neg, t)
+				}
+			}
+			return out, nil
+		})
 	if err != nil {
 		return nil, nil, err
 	}
 	pos = storage.NewRelation(in.Schema)
 	neg = storage.NewRelation(in.Schema)
-	for _, t := range in.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, nil, err
-		}
-		keep, err := ex.EvalPred(s.Pred, Bind(env, in.Schema, t))
-		if err != nil {
-			return nil, nil, err
-		}
-		if keep.IsTrue() {
-			pos.Tuples = append(pos.Tuples, t)
-		} else {
-			neg.Tuples = append(neg.Tuples, t)
-		}
+	for _, c := range chunks {
+		pos.Tuples = append(pos.Tuples, c.pos...)
+		neg.Tuples = append(neg.Tuples, c.neg...)
 	}
 	return pos, neg, nil
 }
 
-func (ex *Executor) evalProject(p *algebra.Project, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalProject(p *physical.Project, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(p.Child, env)
-	if err != nil {
-		return nil, err
-	}
-	idx, err := in.Schema.Projection(p.Attrs)
 	if err != nil {
 		return nil, err
 	}
 	out := storage.NewRelation(p.Schema())
 	out.Tuples = make([][]types.Value, len(in.Tuples))
 	for i, t := range in.Tuples {
-		row := make([]types.Value, len(idx))
-		for j, c := range idx {
+		row := make([]types.Value, len(p.Cols))
+		for j, c := range p.Cols {
 			row[j] = t[c]
 		}
 		out.Tuples[i] = row
@@ -387,7 +540,7 @@ func (ex *Executor) evalProject(p *algebra.Project, env *Env) (*storage.Relation
 	return out, nil
 }
 
-func (ex *Executor) evalRename(r *algebra.Rename, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalRename(r *physical.Rename, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(r.Child, env)
 	if err != nil {
 		return nil, err
@@ -395,30 +548,38 @@ func (ex *Executor) evalRename(r *algebra.Rename, env *Env) (*storage.Relation, 
 	return &storage.Relation{Schema: r.Schema(), Tuples: in.Tuples}, nil
 }
 
-func (ex *Executor) evalMap(m *algebra.MapOp, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalMap(m *physical.Map, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(m.Child, env)
 	if err != nil {
 		return nil, err
 	}
-	out := storage.NewRelation(m.Schema())
-	out.Tuples = make([][]types.Value, len(in.Tuples))
-	for i, t := range in.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		v, err := ex.EvalExpr(m.Expr, Bind(env, in.Schema, t))
-		if err != nil {
-			return nil, err
-		}
-		row := make([]types.Value, 0, len(t)+1)
-		row = append(row, t...)
-		row = append(row, v)
-		out.Tuples[i] = row
+	chunks, err := parMorsels(ex, len(in.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			out := make([][]types.Value, 0, hi-lo)
+			for _, t := range in.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				v, err := w.EvalExpr(m.Expr, Bind(env, in.Schema, t))
+				if err != nil {
+					return nil, err
+				}
+				row := make([]types.Value, 0, len(t)+1)
+				row = append(row, t...)
+				row = append(row, v)
+				out = append(out, row)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out := storage.NewRelation(m.Schema())
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }
 
-func (ex *Executor) evalNumber(n *algebra.Number, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalNumber(n *physical.Number, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(n.Child, env)
 	if err != nil {
 		return nil, err
@@ -434,31 +595,7 @@ func (ex *Executor) evalNumber(n *algebra.Number, env *Env) (*storage.Relation, 
 	return out, nil
 }
 
-func (ex *Executor) evalCross(c *algebra.CrossProduct, env *Env) (*storage.Relation, error) {
-	l, err := ex.eval(c.L, env)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.eval(c.R, env)
-	if err != nil {
-		return nil, err
-	}
-	out := storage.NewRelation(c.Schema())
-	for _, lt := range l.Tuples {
-		if err := ex.checkBudget(len(out.Tuples)); err != nil {
-			return nil, err
-		}
-		for _, rt := range r.Tuples {
-			if err := ex.tick(); err != nil {
-				return nil, err
-			}
-			out.Tuples = append(out.Tuples, concat(lt, rt))
-		}
-	}
-	return out, nil
-}
-
-func (ex *Executor) evalConcat(lop, rop algebra.Op, sch *storage.Schema, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalConcat(lop, rop physical.Node, sch *storage.Schema, env *Env) (*storage.Relation, error) {
 	l, err := ex.eval(lop, env)
 	if err != nil {
 		return nil, err
@@ -474,31 +611,49 @@ func (ex *Executor) evalConcat(lop, rop algebra.Op, sch *storage.Schema, env *En
 	return out, nil
 }
 
-func (ex *Executor) evalDistinct(d *algebra.Distinct, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalDistinct(d *physical.Distinct, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(d.Child, env)
 	if err != nil {
 		return nil, err
 	}
-	return in.Distinct(), nil
+	if ex.fanout(len(in.Tuples)) <= 1 {
+		return in.Distinct(), nil
+	}
+	// Dedup each morsel locally, then merge in morsel order: the result
+	// keeps first-seen order, identical to the sequential pass.
+	chunks, err := parMorsels(ex, len(in.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			local := &storage.Relation{Schema: in.Schema, Tuples: in.Tuples[lo:hi]}
+			return local.Distinct().Tuples, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(in.Schema)
+	seen := make(map[uint64][][]types.Value, len(in.Tuples))
+	for _, c := range chunks {
+	next:
+		for _, t := range c {
+			h := types.HashTuple(t)
+			for _, prev := range seen[h] {
+				if types.TuplesIdentical(prev, t) {
+					continue next
+				}
+			}
+			seen[h] = append(seen[h], t)
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
 }
 
-func (ex *Executor) evalSort(s *algebra.Sort, env *Env) (*storage.Relation, error) {
+func (ex *Executor) evalSort(s *physical.Sort, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(s.Child, env)
 	if err != nil {
 		return nil, err
 	}
-	cols := make([]int, len(s.Keys))
-	desc := make([]bool, len(s.Keys))
-	for i, k := range s.Keys {
-		c := in.Schema.Index(k.Attr)
-		if c < 0 {
-			return nil, fmt.Errorf("exec: sort key %q not in %s", k.Attr, in.Schema)
-		}
-		cols[i] = c
-		desc[i] = k.Desc
-	}
-	out := in.Clone()
-	out.SortBy(cols, desc)
+	out := in.ShallowClone() // sorting permutes the slice, not the rows
+	out.SortBy(s.Cols, s.Desc)
 	return out, nil
 }
 
@@ -507,4 +662,16 @@ func concat(a, b []types.Value) []types.Value {
 	row = append(row, a...)
 	row = append(row, b...)
 	return row
+}
+
+func concatChunks(chunks [][][]types.Value) [][]types.Value {
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := make([][]types.Value, 0, n)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
 }

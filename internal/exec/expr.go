@@ -5,6 +5,7 @@ import (
 
 	"disqo/internal/agg"
 	"disqo/internal/algebra"
+	"disqo/internal/storage"
 	"disqo/internal/types"
 )
 
@@ -130,13 +131,24 @@ func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
 	}
 }
 
+// evalSubplan resolves a nested logical plan to its physical node —
+// pre-lowered by the planner when the enclosing plan was lowered — and
+// evaluates it under the current environment.
+func (ex *Executor) evalSubplan(plan algebra.Op, env *Env) (*storage.Relation, error) {
+	n, err := ex.physFor(plan)
+	if err != nil {
+		return nil, err
+	}
+	return ex.eval(n, env)
+}
+
 // evalScalarSubquery runs the nested plan under the current environment
 // and folds the aggregate over its result — the canonical nested-loop
 // strategy. Uncorrelated plans (type A) are evaluated once and memoized
 // when the executor's cache is enabled.
 func (ex *Executor) evalScalarSubquery(sq *algebra.ScalarSubquery, env *Env) (types.Value, error) {
 	ex.stats.SubqueryEvals++
-	rel, err := ex.eval(sq.Plan, env)
+	rel, err := ex.evalSubplan(sq.Plan, env)
 	if err != nil {
 		return types.Value{}, err
 	}
@@ -162,7 +174,7 @@ func (ex *Executor) evalScalarSubquery(sq *algebra.ScalarSubquery, env *Env) (ty
 // otherwise; NOT IN is its Kleene negation.
 func (ex *Executor) evalQuantSubquery(q *algebra.QuantSubquery, env *Env) (types.TriBool, error) {
 	ex.stats.SubqueryEvals++
-	rel, err := ex.eval(q.Plan, env)
+	rel, err := ex.evalSubplan(q.Plan, env)
 	if err != nil {
 		return types.Unknown, err
 	}
@@ -198,7 +210,7 @@ func (ex *Executor) evalQuantSubquery(q *algebra.QuantSubquery, env *Env) (types
 // for ANY (FALSE on empty input).
 func (ex *Executor) evalAllAny(q *algebra.AllAnyExpr, env *Env) (types.TriBool, error) {
 	ex.stats.SubqueryEvals++
-	rel, err := ex.eval(q.Plan, env)
+	rel, err := ex.evalSubplan(q.Plan, env)
 	if err != nil {
 		return types.Unknown, err
 	}

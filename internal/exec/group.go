@@ -1,10 +1,9 @@
 package exec
 
 import (
-	"fmt"
-
 	"disqo/internal/agg"
 	"disqo/internal/algebra"
+	"disqo/internal/physical"
 	"disqo/internal/storage"
 	"disqo/internal/types"
 )
@@ -49,56 +48,79 @@ func newAccs(items []algebra.AggItem) []*agg.Acc {
 	return accs
 }
 
-// evalGroupBy implements the unary grouping operator Γ: hash-based, with
-// Identical key semantics (NULL groups with NULL). A Global grouping
-// emits exactly one row even on empty input — the SQL scalar aggregate.
-func (ex *Executor) evalGroupBy(g *algebra.GroupBy, env *Env) (*storage.Relation, error) {
+// groupTable is a hash grouping with deterministic first-appearance
+// output order and Identical key semantics (NULL groups with NULL).
+type groupTable struct {
+	buckets map[uint64][]*group
+	order   []*group
+}
+
+func newGroupTable() *groupTable {
+	return &groupTable{buckets: make(map[uint64][]*group)}
+}
+
+func (gt *groupTable) find(key []types.Value, items []algebra.AggItem) *group {
+	h := types.HashTuple(key)
+	for _, grp := range gt.buckets[h] {
+		if types.TuplesIdentical(grp.key, key) {
+			return grp
+		}
+	}
+	grp := &group{key: append([]types.Value(nil), key...), accs: newAccs(items)}
+	gt.buckets[h] = append(gt.buckets[h], grp)
+	gt.order = append(gt.order, grp)
+	return grp
+}
+
+// evalGroup implements the unary grouping operator Γ. Each morsel builds
+// a private groupTable; the partials are merged in morsel order, so the
+// merged discovery order equals the sequential first-appearance order
+// and aggregate folds see their inputs in the same order regardless of
+// the worker count (forceChunks pins the chunk boundaries to the input
+// size). A Global grouping emits exactly one row even on empty input —
+// the SQL scalar aggregate.
+func (ex *Executor) evalGroup(g *physical.Group, env *Env) (*storage.Relation, error) {
 	in, err := ex.eval(g.Child, env)
 	if err != nil {
 		return nil, err
 	}
-	keyCols, err := in.Schema.Projection(g.Attrs)
+	chunks, err := parMorsels(ex, len(in.Tuples), true,
+		func(w *Executor, lo, hi int) (*groupTable, error) {
+			gt := newGroupTable()
+			for _, t := range in.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				grp := gt.find(keyOf(t, g.KeyCols), g.Aggs)
+				for i, item := range g.Aggs {
+					args, err := w.aggArgs(item, in.Schema, t, env)
+					if err != nil {
+						return nil, err
+					}
+					grp.accs[i].Add(args)
+				}
+			}
+			return gt, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	if len(g.Attrs) == 0 && !g.Global {
-		return nil, fmt.Errorf("exec: grouping without attributes requires Global")
-	}
-
-	buckets := make(map[uint64][]*group)
-	var order []*group // deterministic output order (first appearance)
-	find := func(key []types.Value) *group {
-		h := types.HashTuple(key)
-		for _, grp := range buckets[h] {
-			if types.TuplesIdentical(grp.key, key) {
-				return grp
+	merged := chunks[0]
+	for _, gt := range chunks[1:] {
+		for _, grp := range gt.order {
+			dst := merged.find(grp.key, g.Aggs)
+			for i := range dst.accs {
+				dst.accs[i].Merge(grp.accs[i])
 			}
 		}
-		grp := &group{key: append([]types.Value(nil), key...), accs: newAccs(g.Aggs)}
-		buckets[h] = append(buckets[h], grp)
-		order = append(order, grp)
-		return grp
 	}
-	if g.Global {
-		find(nil)
-	}
-	for _, t := range in.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		grp := find(keyOf(t, keyCols))
-		for i, item := range g.Aggs {
-			args, err := ex.aggArgs(item, in.Schema, t, env)
-			if err != nil {
-				return nil, err
-			}
-			grp.accs[i].Add(args)
-		}
+	if g.Global && len(merged.order) == 0 {
+		merged.find(nil, g.Aggs)
 	}
 
 	out := storage.NewRelation(g.Schema())
-	out.Tuples = make([][]types.Value, 0, len(order))
-	for _, grp := range order {
+	out.Tuples = make([][]types.Value, 0, len(merged.order))
+	for _, grp := range merged.order {
 		row := make([]types.Value, 0, len(grp.key)+len(grp.accs))
 		row = append(row, grp.key...)
 		for _, a := range grp.accs {
@@ -109,13 +131,22 @@ func (ex *Executor) evalGroupBy(g *algebra.GroupBy, env *Env) (*storage.Relation
 	return out, nil
 }
 
-// evalBinaryGroup implements the binary grouping operator Γ²: each left
-// tuple is extended with aggregates over its matching right tuples, with
-// f(∅) for empty match sets (no count bug by construction). Pure
-// equality predicates use the hash algorithm of May & Moerkotte's
-// main-memory binary grouping; anything else falls back to a nested
-// loop.
-func (ex *Executor) evalBinaryGroup(b *algebra.BinaryGroup, env *Env) (*storage.Relation, error) {
+// binaryGroupRow extends a left tuple with the aggregate results.
+func binaryGroupRow(lt []types.Value, accs []*agg.Acc) []types.Value {
+	row := make([]types.Value, 0, len(lt)+len(accs))
+	row = append(row, lt...)
+	for _, a := range accs {
+		row = append(row, a.Result())
+	}
+	return row
+}
+
+// evalBinaryGroupHash is Γ² over a pure equality predicate: the hash
+// algorithm of May & Moerkotte's main-memory binary grouping. Each left
+// tuple owns its accumulators, so morsels over the left side are
+// independent and the per-row aggregate folds see right tuples in
+// bucket (ascending index) order regardless of the worker count.
+func (ex *Executor) evalBinaryGroupHash(b *physical.BinaryGroupHash, env *Env) (*storage.Relation, error) {
 	l, err := ex.eval(b.L, env)
 	if err != nil {
 		return nil, err
@@ -124,85 +155,94 @@ func (ex *Executor) evalBinaryGroup(b *algebra.BinaryGroup, env *Env) (*storage.
 	if err != nil {
 		return nil, err
 	}
-	keys, residual := splitEquiJoin(b.Pred, l.Schema, r.Schema)
-	out := storage.NewRelation(b.Schema())
-	out.Tuples = make([][]types.Value, 0, len(l.Tuples))
-
-	emit := func(lt []types.Value, accs []*agg.Acc) {
-		row := make([]types.Value, 0, len(lt)+len(accs))
-		row = append(row, lt...)
-		for _, a := range accs {
-			row = append(row, a.Result())
-		}
-		out.Tuples = append(out.Tuples, row)
+	ex.stats.HashJoins++
+	ht, err := ex.buildHashTable(r, b.RCols)
+	if err != nil {
+		return nil, err
 	}
-
-	if len(keys) > 0 && len(residual) == 0 {
-		ex.stats.HashJoins++
-		lcols := make([]int, len(keys))
-		rcols := make([]int, len(keys))
-		for i, k := range keys {
-			lcols[i] = k.l
-			rcols[i] = k.r
-		}
-		ht := buildHash(r, rcols)
-		for _, lt := range l.Tuples {
-			if err := ex.tick(); err != nil {
-				return nil, err
-			}
-			accs := newAccs(b.Aggs)
-			for _, ri := range ht.probe(keyOf(lt, lcols)) {
-				rt := r.Tuples[ri]
-				if !keysMatch(lt, lcols, rt, rcols) {
-					continue
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			out := make([][]types.Value, 0, hi-lo)
+			for _, lt := range l.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
 				}
-				for i, item := range b.Aggs {
-					args, err := ex.aggArgs(item, r.Schema, rt, env)
-					if err != nil {
-						return nil, err
+				accs := newAccs(b.Aggs)
+				for _, ri := range ht.probe(keyOf(lt, b.LCols)) {
+					rt := r.Tuples[ri]
+					if !keysMatch(lt, b.LCols, rt, b.RCols) {
+						continue
 					}
-					accs[i].Add(args)
+					for i, item := range b.Aggs {
+						args, err := w.aggArgs(item, r.Schema, rt, env)
+						if err != nil {
+							return nil, err
+						}
+						accs[i].Add(args)
+					}
 				}
+				out = append(out, binaryGroupRow(lt, accs))
 			}
-			emit(lt, accs)
-		}
-		return out, nil
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out := storage.NewRelation(b.Schema())
+	out.Tuples = concatChunks(chunks)
+	return out, nil
+}
 
-	// Single-inequality predicates with decomposable aggregates run
-	// sort-based (May & Moerkotte): prefix/suffix aggregates over the
-	// sorted right side, one binary search per left tuple.
-	if lcol, rcol, cop, ok := thetaGroupable(b); ok {
-		return ex.evalBinaryGroupSorted(b, l, r, lcol, rcol, cop, env)
+// evalBinaryGroupNL is the Γ² fallback for arbitrary predicates: each
+// left tuple aggregates over every matching right tuple, with f(∅) for
+// empty match sets (no count bug by construction).
+func (ex *Executor) evalBinaryGroupNL(b *physical.BinaryGroupNL, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(b.L, env)
+	if err != nil {
+		return nil, err
 	}
-
+	r, err := ex.eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
 	ex.stats.NLJoins++
 	joined := l.Schema.Concat(r.Schema)
-	for _, lt := range l.Tuples {
-		accs := newAccs(b.Aggs)
-		for _, rt := range r.Tuples {
-			if err := ex.tick(); err != nil {
-				return nil, err
-			}
-			match := types.True
-			if b.Pred != nil {
-				match, err = ex.EvalPred(b.Pred, Bind(env, joined, concat(lt, rt)))
-				if err != nil {
-					return nil, err
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			out := make([][]types.Value, 0, hi-lo)
+			for _, lt := range l.Tuples[lo:hi] {
+				accs := newAccs(b.Aggs)
+				for _, rt := range r.Tuples {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					match := types.True
+					if b.Pred != nil {
+						var err error
+						match, err = w.EvalPred(b.Pred, Bind(env, joined, concat(lt, rt)))
+						if err != nil {
+							return nil, err
+						}
+					}
+					if !match.IsTrue() {
+						continue
+					}
+					for i, item := range b.Aggs {
+						args, err := w.aggArgs(item, r.Schema, rt, env)
+						if err != nil {
+							return nil, err
+						}
+						accs[i].Add(args)
+					}
 				}
+				out = append(out, binaryGroupRow(lt, accs))
 			}
-			if !match.IsTrue() {
-				continue
-			}
-			for i, item := range b.Aggs {
-				args, err := ex.aggArgs(item, r.Schema, rt, env)
-				if err != nil {
-					return nil, err
-				}
-				accs[i].Add(args)
-			}
-		}
-		emit(lt, accs)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out := storage.NewRelation(b.Schema())
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }

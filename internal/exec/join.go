@@ -1,44 +1,13 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"disqo/internal/algebra"
+	"disqo/internal/physical"
 	"disqo/internal/storage"
 	"disqo/internal/types"
 )
-
-// equiKey is one equality conjunct usable for hashing: positions of the
-// key columns in the left and right schemas.
-type equiKey struct {
-	l, r int
-}
-
-// splitEquiJoin extracts hashable equality conjuncts (L-column = R-column)
-// from a join predicate, returning the keys and the residual conjuncts
-// that must still be evaluated per matched pair.
-func splitEquiJoin(pred algebra.Expr, ls, rs *storage.Schema) (keys []equiKey, residual []algebra.Expr) {
-	if pred == nil {
-		return nil, nil
-	}
-	for _, c := range algebra.SplitConjuncts(pred) {
-		cmp, ok := c.(*algebra.CmpExpr)
-		if ok && cmp.Op == types.EQ {
-			lc, lok := cmp.L.(*algebra.ColRef)
-			rc, rok := cmp.R.(*algebra.ColRef)
-			if lok && rok {
-				if li, ri := ls.Index(lc.Name), rs.Index(rc.Name); li >= 0 && ri >= 0 {
-					keys = append(keys, equiKey{l: li, r: ri})
-					continue
-				}
-				if li, ri := ls.Index(rc.Name), rs.Index(lc.Name); li >= 0 && ri >= 0 {
-					keys = append(keys, equiKey{l: li, r: ri})
-					continue
-				}
-			}
-		}
-		residual = append(residual, c)
-	}
-	return keys, residual
-}
 
 // hashTable buckets right-side tuple indices by key hash. Tuples with any
 // NULL key column are omitted: SQL equality can never match them.
@@ -47,21 +16,52 @@ type hashTable struct {
 	keyCols []int
 }
 
-func buildHash(rel *storage.Relation, keyCols []int) *hashTable {
-	ht := &hashTable{buckets: make(map[uint64][]int, len(rel.Tuples)), keyCols: keyCols}
-next:
-	for i, t := range rel.Tuples {
-		key := make([]types.Value, len(keyCols))
-		for j, c := range keyCols {
-			if t[c].IsNull() {
-				continue next
-			}
-			key[j] = t[c]
-		}
-		h := types.HashTuple(key)
-		ht.buckets[h] = append(ht.buckets[h], i)
+// buildHashTable hashes the build side. Key hashing is spread over
+// morsels; bucket insertion stays sequential in index order so each
+// bucket lists candidates in ascending tuple order regardless of the
+// worker count (probe output order depends on it).
+func (ex *Executor) buildHashTable(rel *storage.Relation, keyCols []int) (*hashTable, error) {
+	type hashed struct {
+		h  uint64
+		ok bool
 	}
-	return ht
+	chunks, err := parMorsels(ex, len(rel.Tuples), false,
+		func(w *Executor, lo, hi int) ([]hashed, error) {
+			out := make([]hashed, 0, hi-lo)
+			for _, t := range rel.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				hk := hashed{ok: true}
+				key := make([]types.Value, len(keyCols))
+				for j, c := range keyCols {
+					if t[c].IsNull() {
+						hk.ok = false
+						break
+					}
+					key[j] = t[c]
+				}
+				if hk.ok {
+					hk.h = types.HashTuple(key)
+				}
+				out = append(out, hk)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ht := &hashTable{buckets: make(map[uint64][]int, len(rel.Tuples)), keyCols: keyCols}
+	i := 0
+	for _, c := range chunks {
+		for _, hk := range c {
+			if hk.ok {
+				ht.buckets[hk.h] = append(ht.buckets[hk.h], i)
+			}
+			i++
+		}
+	}
+	return ht, nil
 }
 
 // probe returns candidate right-tuple indices for the given key values;
@@ -92,9 +92,10 @@ func keysMatch(lt []types.Value, lcols []int, rt []types.Value, rcols []int) boo
 	return true
 }
 
-// evalJoin evaluates an inner join, hashing when an equality conjunct is
-// available and falling back to nested loops otherwise.
-func (ex *Executor) evalJoin(j *algebra.Join, env *Env) (*storage.Relation, error) {
+// evalHashJoin probes a hash table built on the right input, in morsels
+// over the left. Semi/anti modes emit the left tuple on (no) match and
+// stop probing at the first qualifying pair.
+func (ex *Executor) evalHashJoin(j *physical.HashJoin, env *Env) (*storage.Relation, error) {
 	l, err := ex.eval(j.L, env)
 	if err != nil {
 		return nil, err
@@ -103,140 +104,142 @@ func (ex *Executor) evalJoin(j *algebra.Join, env *Env) (*storage.Relation, erro
 	if err != nil {
 		return nil, err
 	}
+	ex.stats.HashJoins++
+	ht, err := ex.buildHashTable(r, j.RCols)
+	if err != nil {
+		return nil, err
+	}
+	joined := l.Schema.Concat(r.Schema)
+	emitPairs := j.Mode == physical.JoinInner
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, lt := range l.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				matched := false
+				for _, ri := range ht.probe(keyOf(lt, j.LCols)) {
+					rt := r.Tuples[ri]
+					if !keysMatch(lt, j.LCols, rt, j.RCols) {
+						continue // hash collision
+					}
+					var row []types.Value
+					if emitPairs || j.Residual != nil {
+						row = concat(lt, rt)
+					}
+					if j.Residual != nil {
+						ok, err := w.EvalPred(j.Residual, Bind(env, joined, row))
+						if err != nil {
+							return nil, err
+						}
+						if !ok.IsTrue() {
+							continue
+						}
+					}
+					matched = true
+					if emitPairs {
+						out = append(out, row)
+					} else {
+						break
+					}
+				}
+				switch j.Mode {
+				case physical.JoinSemi:
+					if matched {
+						out = append(out, lt)
+					}
+				case physical.JoinAnti:
+					if !matched {
+						out = append(out, lt)
+					}
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := storage.NewRelation(j.Schema())
-	err = ex.joinInto(out, l, r, j.Pred, env, nil)
-	return out, err
+	out.Tuples = concatChunks(chunks)
+	return out, nil
 }
 
-// joinInto appends matched pairs to out; if onUnmatchedL is non-nil it is
-// called for every left tuple with no match (outerjoin support).
-func (ex *Executor) joinInto(out *storage.Relation, l, r *storage.Relation,
-	pred algebra.Expr, env *Env, onUnmatchedL func([]types.Value)) error {
-	keys, residual := splitEquiJoin(pred, l.Schema, r.Schema)
-	resPred := algebra.And(residual...)
-	if len(residual) == 0 {
-		resPred = nil
+// evalNLJoin enumerates all pairs, in morsels over the left input. A
+// nil predicate is a cross product (inner mode only) and — matching the
+// bookkeeping of the logical executor — is not counted as an NL join.
+func (ex *Executor) evalNLJoin(j *physical.NLJoin, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(j.L, env)
+	if err != nil {
+		return nil, err
 	}
-	joined := out.Schema
-
-	if len(keys) > 0 {
-		ex.stats.HashJoins++
-		lcols := make([]int, len(keys))
-		rcols := make([]int, len(keys))
-		for i, k := range keys {
-			lcols[i] = k.l
-			rcols[i] = k.r
-		}
-		ht := buildHash(r, rcols)
-		for _, lt := range l.Tuples {
-			if err := ex.tick(); err != nil {
-				return err
-			}
-			matched := false
-			for _, ri := range ht.probe(keyOf(lt, lcols)) {
-				rt := r.Tuples[ri]
-				if !keysMatch(lt, lcols, rt, rcols) {
-					continue // hash collision
+	r, err := ex.eval(j.R, env)
+	if err != nil {
+		return nil, err
+	}
+	if j.Pred != nil {
+		ex.stats.NLJoins++
+	}
+	joined := l.Schema.Concat(r.Schema)
+	emitPairs := j.Mode == physical.JoinInner
+	var pending atomic.Int64 // operator-wide output size for the budget
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, lt := range l.Tuples[lo:hi] {
+				if err := w.checkBudget(int(pending.Load())); err != nil {
+					return nil, err
 				}
-				row := concat(lt, rt)
-				if resPred != nil {
-					ok, err := ex.EvalPred(resPred, Bind(env, joined, row))
-					if err != nil {
-						return err
+				matched := false
+				for _, rt := range r.Tuples {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					row := concat(lt, rt)
+					ok := types.True
+					if j.Pred != nil {
+						var err error
+						ok, err = w.EvalPred(j.Pred, Bind(env, joined, row))
+						if err != nil {
+							return nil, err
+						}
 					}
 					if !ok.IsTrue() {
 						continue
 					}
+					matched = true
+					if emitPairs {
+						out = append(out, row)
+						pending.Add(1)
+					} else {
+						break // semi/anti need only existence
+					}
 				}
-				matched = true
-				out.Tuples = append(out.Tuples, row)
-			}
-			if !matched && onUnmatchedL != nil {
-				onUnmatchedL(lt)
-			}
-		}
-		return nil
-	}
-
-	ex.stats.NLJoins++
-	for _, lt := range l.Tuples {
-		if err := ex.checkBudget(len(out.Tuples)); err != nil {
-			return err
-		}
-		matched := false
-		for _, rt := range r.Tuples {
-			if err := ex.tick(); err != nil {
-				return err
-			}
-			row := concat(lt, rt)
-			ok := types.True
-			if pred != nil {
-				var err error
-				ok, err = ex.EvalPred(pred, Bind(env, joined, row))
-				if err != nil {
-					return err
+				switch j.Mode {
+				case physical.JoinSemi:
+					if matched {
+						out = append(out, lt)
+					}
+				case physical.JoinAnti:
+					if !matched {
+						out = append(out, lt)
+					}
 				}
 			}
-			if ok.IsTrue() {
-				matched = true
-				out.Tuples = append(out.Tuples, row)
-			}
-		}
-		if !matched && onUnmatchedL != nil {
-			onUnmatchedL(lt)
-		}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	out := storage.NewRelation(j.Schema())
+	out.Tuples = concatChunks(chunks)
+	return out, nil
 }
 
 // evalOuterJoin evaluates ⟕ with the paper's g:f(∅) defaults: unmatched
-// left tuples are padded with NULLs on the right side except for the
-// Default attributes, which receive their configured value.
-func (ex *Executor) evalOuterJoin(j *algebra.LeftOuterJoin, env *Env) (*storage.Relation, error) {
-	l, err := ex.eval(j.L, env)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.eval(j.R, env)
-	if err != nil {
-		return nil, err
-	}
-	pad := make([]types.Value, r.Schema.Len())
-	for _, d := range j.Defaults {
-		i := r.Schema.Index(d.Attr)
-		if i < 0 {
-			continue
-		}
-		pad[i] = d.Val
-	}
-	out := storage.NewRelation(j.Schema())
-	err = ex.joinInto(out, l, r, j.Pred, env, func(lt []types.Value) {
-		out.Tuples = append(out.Tuples, concat(lt, pad))
-	})
-	return out, err
-}
-
-// evalBypassJoinPos is the positive stream of ⋈±: the ordinary join.
-func (ex *Executor) evalBypassJoinPos(j *algebra.BypassJoin, env *Env) (*storage.Relation, error) {
-	l, err := ex.eval(j.L, env)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.eval(j.R, env)
-	if err != nil {
-		return nil, err
-	}
-	out := storage.NewRelation(j.Schema())
-	err = ex.joinInto(out, l, r, j.Pred, env, nil)
-	return out, err
-}
-
-// evalBypassJoinNeg is the negative stream of ⋈±: the complement pairs
-// {x◦y | ¬p(x,y)}. An optional fused filter (the σ the rewriter places
-// directly on the negative stream, Eqv. 5's σ_p) is applied during
-// enumeration; side-local conjuncts of the filter pre-reduce each input
-// so the complement is never materialized at full cross-product size.
-func (ex *Executor) evalBypassJoinNeg(j *algebra.BypassJoin, fused algebra.Expr, env *Env) (*storage.Relation, error) {
+// left tuples are padded with j.Pad (NULLs except the Default
+// attributes, precomputed by the planner).
+func (ex *Executor) evalOuterJoin(j *physical.OuterJoin, env *Env) (*storage.Relation, error) {
 	l, err := ex.eval(j.L, env)
 	if err != nil {
 		return nil, err
@@ -247,183 +250,262 @@ func (ex *Executor) evalBypassJoinNeg(j *algebra.BypassJoin, fused algebra.Expr,
 	}
 	joined := j.Schema()
 
-	var lOnly, rOnly, rest []algebra.Expr
-	if fused != nil {
-		for _, c := range algebra.SplitConjuncts(fused) {
-			cols := c.Columns(nil)
-			inL, inR := true, true
-			for _, col := range cols {
-				if !l.Schema.Has(col) {
-					inL = false
-				}
-				if !r.Schema.Has(col) {
-					inR = false
-				}
-			}
-			switch {
-			case inL && len(cols) > 0:
-				lOnly = append(lOnly, c)
-			case inR && len(cols) > 0:
-				rOnly = append(rOnly, c)
-			default:
-				rest = append(rest, c)
-			}
-		}
-	}
-	lf, err := ex.preFilter(l, lOnly, env)
-	if err != nil {
-		return nil, err
-	}
-	rf, err := ex.preFilter(r, rOnly, env)
-	if err != nil {
-		return nil, err
-	}
-	restPred := algebra.And(rest...)
-	if len(rest) == 0 {
-		restPred = nil
-	}
-
-	out := storage.NewRelation(joined)
-	for _, lt := range lf.Tuples {
-		if err := ex.checkBudget(len(out.Tuples)); err != nil {
+	var ht *hashTable
+	if j.Hash {
+		ex.stats.HashJoins++
+		if ht, err = ex.buildHashTable(r, j.RCols); err != nil {
 			return nil, err
 		}
-		for _, rt := range rf.Tuples {
-			if err := ex.tick(); err != nil {
-				return nil, err
-			}
-			row := concat(lt, rt)
-			rowEnv := Bind(env, joined, row)
-			match, err := ex.EvalPred(j.Pred, rowEnv)
-			if err != nil {
-				return nil, err
-			}
-			if match.IsTrue() {
-				continue // belongs to the positive stream
-			}
-			if restPred != nil {
-				keep, err := ex.EvalPred(restPred, rowEnv)
-				if err != nil {
-					return nil, err
-				}
-				if !keep.IsTrue() {
-					continue
-				}
-			}
-			out.Tuples = append(out.Tuples, row)
-		}
+	} else {
+		ex.stats.NLJoins++
 	}
+	var pending atomic.Int64
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, lt := range l.Tuples[lo:hi] {
+				matched := false
+				if j.Hash {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					for _, ri := range ht.probe(keyOf(lt, j.LCols)) {
+						rt := r.Tuples[ri]
+						if !keysMatch(lt, j.LCols, rt, j.RCols) {
+							continue
+						}
+						row := concat(lt, rt)
+						if j.Residual != nil {
+							ok, err := w.EvalPred(j.Residual, Bind(env, joined, row))
+							if err != nil {
+								return nil, err
+							}
+							if !ok.IsTrue() {
+								continue
+							}
+						}
+						matched = true
+						out = append(out, row)
+					}
+				} else {
+					if err := w.checkBudget(int(pending.Load())); err != nil {
+						return nil, err
+					}
+					for _, rt := range r.Tuples {
+						if err := w.tick(); err != nil {
+							return nil, err
+						}
+						row := concat(lt, rt)
+						ok := types.True
+						if j.Pred != nil {
+							var err error
+							ok, err = w.EvalPred(j.Pred, Bind(env, joined, row))
+							if err != nil {
+								return nil, err
+							}
+						}
+						if ok.IsTrue() {
+							matched = true
+							out = append(out, row)
+							pending.Add(1)
+						}
+					}
+				}
+				if !matched {
+					out = append(out, concat(lt, j.Pad))
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(joined)
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }
 
-func (ex *Executor) preFilter(rel *storage.Relation, conjuncts []algebra.Expr, env *Env) (*storage.Relation, error) {
-	if len(conjuncts) == 0 {
-		return rel, nil
+// evalBypassJoinPos is the positive stream of ⋈±: the ordinary join,
+// hashed when the planner found equality keys.
+func (ex *Executor) evalBypassJoinPos(j *physical.BypassJoin, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(j.L, env)
+	if err != nil {
+		return nil, err
 	}
-	pred := algebra.And(conjuncts...)
-	out := storage.NewRelation(rel.Schema)
-	for _, t := range rel.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		keep, err := ex.EvalPred(pred, Bind(env, rel.Schema, t))
+	r, err := ex.eval(j.R, env)
+	if err != nil {
+		return nil, err
+	}
+	joined := j.Schema()
+	out := storage.NewRelation(joined)
+
+	if len(j.LCols) > 0 {
+		ex.stats.HashJoins++
+		ht, err := ex.buildHashTable(r, j.RCols)
 		if err != nil {
 			return nil, err
 		}
-		if keep.IsTrue() {
-			out.Tuples = append(out.Tuples, t)
+		chunks, err := parMorsels(ex, len(l.Tuples), false,
+			func(w *Executor, lo, hi int) ([][]types.Value, error) {
+				var part [][]types.Value
+				for _, lt := range l.Tuples[lo:hi] {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					for _, ri := range ht.probe(keyOf(lt, j.LCols)) {
+						rt := r.Tuples[ri]
+						if !keysMatch(lt, j.LCols, rt, j.RCols) {
+							continue
+						}
+						row := concat(lt, rt)
+						if j.Residual != nil {
+							ok, err := w.EvalPred(j.Residual, Bind(env, joined, row))
+							if err != nil {
+								return nil, err
+							}
+							if !ok.IsTrue() {
+								continue
+							}
+						}
+						part = append(part, row)
+					}
+				}
+				return part, nil
+			})
+		if err != nil {
+			return nil, err
 		}
-	}
-	return out, nil
-}
-
-// evalSemiJoin implements ⋉ (anti=false) and ▷ (anti=true): each left
-// tuple is kept according to whether some right tuple satisfies the
-// predicate. Hash probing on equality keys; nested loop otherwise.
-func (ex *Executor) evalSemiJoin(lop, rop algebra.Op, pred algebra.Expr,
-	anti bool, env *Env) (*storage.Relation, error) {
-	l, err := ex.eval(lop, env)
-	if err != nil {
-		return nil, err
-	}
-	r, err := ex.eval(rop, env)
-	if err != nil {
-		return nil, err
-	}
-	out := storage.NewRelation(l.Schema)
-	keys, residual := splitEquiJoin(pred, l.Schema, r.Schema)
-	resPred := algebra.And(residual...)
-	if len(residual) == 0 {
-		resPred = nil
-	}
-	joined := l.Schema.Concat(r.Schema)
-	lcols := make([]int, len(keys))
-	rcols := make([]int, len(keys))
-	for i, k := range keys {
-		lcols[i] = k.l
-		rcols[i] = k.r
-	}
-
-	matchesSomewhere := func(lt []types.Value, candidates []int) (bool, error) {
-		for _, ri := range candidates {
-			rt := r.Tuples[ri]
-			if len(keys) > 0 {
-				if !keysMatch(lt, lcols, rt, rcols) {
-					continue
-				}
-			}
-			if resPred != nil || len(keys) == 0 {
-				p := resPred
-				if len(keys) == 0 {
-					p = pred
-				}
-				ok, err := ex.EvalPred(p, Bind(env, joined, concat(lt, rt)))
-				if err != nil {
-					return false, err
-				}
-				if !ok.IsTrue() {
-					continue
-				}
-			}
-			return true, nil
-		}
-		return false, nil
-	}
-
-	if len(keys) > 0 {
-		ex.stats.HashJoins++
-		ht := buildHash(r, rcols)
-		for _, lt := range l.Tuples {
-			if err := ex.tick(); err != nil {
-				return nil, err
-			}
-			found, err := matchesSomewhere(lt, ht.probe(keyOf(lt, lcols)))
-			if err != nil {
-				return nil, err
-			}
-			if found != anti {
-				out.Tuples = append(out.Tuples, lt)
-			}
-		}
+		out.Tuples = concatChunks(chunks)
 		return out, nil
 	}
 
 	ex.stats.NLJoins++
-	all := make([]int, len(r.Tuples))
-	for i := range all {
-		all[i] = i
+	var pending atomic.Int64
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var part [][]types.Value
+			for _, lt := range l.Tuples[lo:hi] {
+				if err := w.checkBudget(int(pending.Load())); err != nil {
+					return nil, err
+				}
+				for _, rt := range r.Tuples {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					row := concat(lt, rt)
+					ok, err := w.EvalPred(j.Pred, Bind(env, joined, row))
+					if err != nil {
+						return nil, err
+					}
+					if ok.IsTrue() {
+						part = append(part, row)
+						pending.Add(1)
+					}
+				}
+			}
+			return part, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, lt := range l.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		found, err := matchesSomewhere(lt, all)
-		if err != nil {
-			return nil, err
-		}
-		if found != anti {
-			out.Tuples = append(out.Tuples, lt)
-		}
+	out.Tuples = concatChunks(chunks)
+	return out, nil
+}
+
+// evalBypassJoinNeg is the negative stream of ⋈±: the complement pairs
+// {x◦y | ¬p(x,y)}. The Stream node may carry a fused filter (the σ the
+// rewriter places directly on the negative stream, Eqv. 5's σ_p), split
+// by the planner into side-local fragments that pre-reduce each input
+// and a rest checked per surviving pair, so the complement is never
+// materialized at full cross-product size.
+func (ex *Executor) evalBypassJoinNeg(j *physical.BypassJoin, s *physical.Stream, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(j.L, env)
+	if err != nil {
+		return nil, err
 	}
+	r, err := ex.eval(j.R, env)
+	if err != nil {
+		return nil, err
+	}
+	lf, err := ex.preFilter(l, s.FusedL, env)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := ex.preFilter(r, s.FusedR, env)
+	if err != nil {
+		return nil, err
+	}
+	joined := j.Schema()
+	var pending atomic.Int64
+	chunks, err := parMorsels(ex, len(lf.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, lt := range lf.Tuples[lo:hi] {
+				if err := w.checkBudget(int(pending.Load())); err != nil {
+					return nil, err
+				}
+				for _, rt := range rf.Tuples {
+					if err := w.tick(); err != nil {
+						return nil, err
+					}
+					row := concat(lt, rt)
+					rowEnv := Bind(env, joined, row)
+					match, err := w.EvalPred(j.Pred, rowEnv)
+					if err != nil {
+						return nil, err
+					}
+					if match.IsTrue() {
+						continue // belongs to the positive stream
+					}
+					if s.FusedRest != nil {
+						keep, err := w.EvalPred(s.FusedRest, rowEnv)
+						if err != nil {
+							return nil, err
+						}
+						if !keep.IsTrue() {
+							continue
+						}
+					}
+					out = append(out, row)
+					pending.Add(1)
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(joined)
+	out.Tuples = concatChunks(chunks)
+	return out, nil
+}
+
+// preFilter reduces a bypass-join input by a side-local fused fragment.
+func (ex *Executor) preFilter(rel *storage.Relation, pred algebra.Expr, env *Env) (*storage.Relation, error) {
+	if pred == nil {
+		return rel, nil
+	}
+	chunks, err := parMorsels(ex, len(rel.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			var out [][]types.Value
+			for _, t := range rel.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				keep, err := w.EvalPred(pred, Bind(env, rel.Schema, t))
+				if err != nil {
+					return nil, err
+				}
+				if keep.IsTrue() {
+					out = append(out, t)
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewRelation(rel.Schema)
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Morsel-driven parallelism (Leis et al., adapted to materialized
+// relations): hot operators split their input into fixed-size morsels
+// that a pool of workers claims from a shared counter. Chunk boundaries
+// depend only on the input size — never on the worker count — so any
+// chunk-order merge (grouping, distinct) produces bit-identical results
+// for Workers=1 and Workers=N, keeping golden tests byte-stable.
+const (
+	// morselSize is the fixed chunk length workers claim.
+	morselSize = 1024
+	// parallelThreshold is the minimum input size worth fanning out:
+	// below two morsels the scheduling overhead dominates.
+	parallelThreshold = 2 * morselSize
+)
+
+// fanout returns how many workers an input of n tuples should use.
+// Worker clones never fan out again — nested pools would oversubscribe
+// and make inner-operator chunking depend on outer scheduling.
+func (ex *Executor) fanout(n int) int {
+	if ex.isWorker || n < parallelThreshold {
+		return 1
+	}
+	w := ex.opt.Workers
+	if nm := (n + morselSize - 1) / morselSize; w > nm {
+		w = nm
+	}
+	return w
+}
+
+// workerClone returns an executor sharing this one's planner, memo, and
+// abort latch but with a private Stats shard (merged by parMorsels) and
+// tick counter.
+func (ex *Executor) workerClone() *Executor {
+	w := *ex
+	w.stats = Stats{}
+	w.ticks = 0
+	w.isWorker = true
+	return &w
+}
+
+// parMorsels runs f over [lo,hi) morsels of an n-tuple input and returns
+// the per-morsel results in morsel order. With one worker (small input,
+// Workers=1, or already inside a worker) it runs f inline on ex — as a
+// single [0,n) call, or chunked at morsel boundaries when forceChunks is
+// set (operators whose merge must see the same chunking regardless of
+// worker count, e.g. float-summing aggregates). With several workers it
+// spawns clones that claim morsels from a shared counter; the first
+// error (by morsel index) wins, and the abort latch makes the remaining
+// workers drain quickly.
+func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor, lo, hi int) (T, error)) ([]T, error) {
+	if ex.fanout(n) <= 1 {
+		if !forceChunks || n <= morselSize {
+			res, err := f(ex, 0, n)
+			if err != nil {
+				return nil, err
+			}
+			return []T{res}, nil
+		}
+		results := make([]T, 0, (n+morselSize-1)/morselSize)
+		for lo := 0; lo < n; lo += morselSize {
+			hi := lo + morselSize
+			if hi > n {
+				hi = n
+			}
+			res, err := f(ex, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+		return results, nil
+	}
+	workers := ex.fanout(n)
+	nm := (n + morselSize - 1) / morselSize
+	results := make([]T, nm)
+	errs := make([]error, nm)
+	var next atomic.Int64
+	clones := make([]*Executor, workers)
+	var wg sync.WaitGroup
+	for i := range clones {
+		clones[i] = ex.workerClone()
+		wg.Add(1)
+		go func(w *Executor) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= nm {
+					return
+				}
+				if ex.sh.aborted.Load() {
+					errs[m] = ex.sh.abortError()
+					continue
+				}
+				lo := m * morselSize
+				hi := lo + morselSize
+				if hi > n {
+					hi = n
+				}
+				res, err := f(w, lo, hi)
+				if err != nil {
+					errs[m] = err
+					ex.fail(err)
+					continue
+				}
+				results[m] = res
+			}
+		}(clones[i])
+	}
+	wg.Wait()
+	for _, w := range clones {
+		ex.stats.merge(&w.stats)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"disqo/internal/agg"
-	"disqo/internal/algebra"
+	"disqo/internal/physical"
 	"disqo/internal/storage"
 	"disqo/internal/types"
 )
@@ -14,53 +14,24 @@ import (
 // L.a θ R.b with θ ∈ {<, ≤, >, ≥} and decomposable aggregates, sort the
 // right side on b, precompute prefix/suffix aggregate arrays, and answer
 // each left tuple with one binary search — O((|L|+|R|)·log|R|) instead of
-// the nested loop's O(|L|·|R|).
+// the nested loop's O(|L|·|R|). The planner (physical.Planner) proves
+// applicability and resolves the column positions; the probe loop over
+// the left side runs morsel-parallel (each row is independent).
 
-// thetaGroupable reports whether the binary grouping can run sort-based:
-// a single column-vs-column inequality and all aggregates decomposable
-// with single-valued partials (no DISTINCT, no AVG — AVG decomposes into
-// two partials and is rewritten upstream).
-func thetaGroupable(b *algebra.BinaryGroup) (lcol, rcol string, op types.CompareOp, ok bool) {
-	cmp, isCmp := b.Pred.(*algebra.CmpExpr)
-	if !isCmp {
-		return "", "", 0, false
+// evalBinaryGroupSorted runs the sort-based algorithm.
+func (ex *Executor) evalBinaryGroupSorted(b *physical.BinaryGroupSort, env *Env) (*storage.Relation, error) {
+	l, err := ex.eval(b.L, env)
+	if err != nil {
+		return nil, err
 	}
-	switch cmp.Op {
-	case types.LT, types.LE, types.GT, types.GE:
-	default:
-		return "", "", 0, false
+	r, err := ex.eval(b.R, env)
+	if err != nil {
+		return nil, err
 	}
-	l, lok := cmp.L.(*algebra.ColRef)
-	r, rok := cmp.R.(*algebra.ColRef)
-	if !lok || !rok {
-		return "", "", 0, false
-	}
-	op = cmp.Op
-	if b.L.Schema().Has(l.Name) && b.R.Schema().Has(r.Name) {
-		lcol, rcol = l.Name, r.Name
-	} else if b.L.Schema().Has(r.Name) && b.R.Schema().Has(l.Name) {
-		lcol, rcol = r.Name, l.Name
-		op = op.Flip()
-	} else {
-		return "", "", 0, false
-	}
-	for _, item := range b.Aggs {
-		if item.Spec.Distinct || item.Spec.Kind == agg.Avg {
-			return "", "", 0, false
-		}
-	}
-	return lcol, rcol, op, true
-}
-
-// evalBinaryGroupSorted runs the sort-based algorithm. The caller has
-// verified thetaGroupable.
-func (ex *Executor) evalBinaryGroupSorted(b *algebra.BinaryGroup,
-	l, r *storage.Relation, lcol, rcol string, op types.CompareOp,
-	env *Env) (*storage.Relation, error) {
-
 	ex.stats.SortedGroups++
-	li := l.Schema.Index(lcol)
-	ri := r.Schema.Index(rcol)
+	li := b.LIdx
+	ri := b.RIdx
+	op := b.Op
 
 	// Sort non-NULL right tuples by the grouping column (NULL b never
 	// satisfies an inequality).
@@ -107,49 +78,57 @@ func (ex *Executor) evalBinaryGroupSorted(b *algebra.BinaryGroup,
 		suffix[k] = suf
 	}
 
-	out := storage.NewRelation(b.Schema())
-	out.Tuples = make([][]types.Value, 0, len(l.Tuples))
-	for _, lt := range l.Tuples {
-		if err := ex.tick(); err != nil {
-			return nil, err
-		}
-		row := make([]types.Value, 0, len(lt)+len(b.Aggs))
-		row = append(row, lt...)
-		v := lt[li]
-		for k, item := range b.Aggs {
-			if v.IsNull() {
-				row = append(row, item.Spec.Empty())
-				continue
+	chunks, err := parMorsels(ex, len(l.Tuples), false,
+		func(w *Executor, lo, hi int) ([][]types.Value, error) {
+			out := make([][]types.Value, 0, hi-lo)
+			for _, lt := range l.Tuples[lo:hi] {
+				if err := w.tick(); err != nil {
+					return nil, err
+				}
+				row := make([]types.Value, 0, len(lt)+len(b.Aggs))
+				row = append(row, lt...)
+				v := lt[li]
+				for k, item := range b.Aggs {
+					if v.IsNull() {
+						row = append(row, item.Spec.Empty())
+						continue
+					}
+					// Matching right tuples form a contiguous run in sort order.
+					switch op {
+					case types.LT: // v < b: suffix strictly above v
+						pos := sort.Search(n, func(i int) bool {
+							c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+							return c > 0
+						})
+						row = append(row, suffix[k][pos])
+					case types.LE: // v <= b
+						pos := sort.Search(n, func(i int) bool {
+							c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+							return c >= 0
+						})
+						row = append(row, suffix[k][pos])
+					case types.GT: // v > b: prefix strictly below v
+						pos := sort.Search(n, func(i int) bool {
+							c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+							return c >= 0
+						})
+						row = append(row, prefix[k][pos])
+					default: // GE: v >= b
+						pos := sort.Search(n, func(i int) bool {
+							c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
+							return c > 0
+						})
+						row = append(row, prefix[k][pos])
+					}
+				}
+				out = append(out, row)
 			}
-			// Matching right tuples form a contiguous run in sort order.
-			switch op {
-			case types.LT: // v < b: suffix strictly above v
-				pos := sort.Search(n, func(i int) bool {
-					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
-					return c > 0
-				})
-				row = append(row, suffix[k][pos])
-			case types.LE: // v <= b
-				pos := sort.Search(n, func(i int) bool {
-					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
-					return c >= 0
-				})
-				row = append(row, suffix[k][pos])
-			case types.GT: // v > b: prefix strictly below v
-				pos := sort.Search(n, func(i int) bool {
-					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
-					return c >= 0
-				})
-				row = append(row, prefix[k][pos])
-			default: // GE: v >= b
-				pos := sort.Search(n, func(i int) bool {
-					c, _ := types.Compare(r.Tuples[idx[i]][ri], v)
-					return c > 0
-				})
-				row = append(row, prefix[k][pos])
-			}
-		}
-		out.Tuples = append(out.Tuples, row)
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	out := storage.NewRelation(b.Schema())
+	out.Tuples = concatChunks(chunks)
 	return out, nil
 }

@@ -69,6 +69,9 @@ type Config struct {
 	// MaxTuples bounds per-query materialization; exceeding it marks the
 	// cell "mem" (default 20 million tuples ≈ a few GB).
 	MaxTuples int64
+	// Workers is the morsel-parallel pool size passed to every query;
+	// zero uses the engine default (GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +230,9 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		if cfg.Timeout > 0 {
 			opts = append(opts, disqo.WithTimeout(cfg.Timeout))
 		}
+		if cfg.Workers > 0 {
+			opts = append(opts, disqo.WithWorkers(cfg.Workers))
+		}
 		start := time.Now()
 		res, err := db.Query(sql, opts...)
 		elapsed := time.Since(start).Seconds()
@@ -344,8 +350,87 @@ func Quantified(cfg Config, progress func(string)) (*Table, error) {
 	return runEqualSweep("quant", "EXISTS in disjunction (quantified subqueries)", QuantExists, 1, cfg, progress)
 }
 
+// WorkerSweep measures morsel-parallel scaling: the unnested strategy
+// on Q1 at the largest RST grid point (10×10, scaled by RSTScale), once
+// per worker count. Each run's result set must be byte-identical to the
+// first worker count's — the executor's determinism guarantee — and a
+// mismatch is an error, not a cell.
+func WorkerSweep(cfg Config, workers []int, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4}
+	}
+	db := disqo.Open()
+	sf := 10 * cfg.RSTScale
+	if err := db.LoadRST(sf, sf, sf); err != nil {
+		return nil, err
+	}
+	tab := newTable("workers",
+		fmt.Sprintf("Q1 unnested on RST 10x10 (scale %g): morsel-parallel worker sweep", cfg.RSTScale),
+		[]disqo.Strategy{disqo.Unnested})
+	var baseline []string
+	for _, w := range workers {
+		if progress != nil {
+			progress(fmt.Sprintf("workers w=%d", w))
+		}
+		best := Cell{Seconds: math.Inf(1)}
+		var canon []string
+		for i := 0; i < cfg.Repeat; i++ {
+			opts := []disqo.Option{disqo.WithStrategy(disqo.Unnested),
+				disqo.WithTupleLimit(cfg.MaxTuples), disqo.WithWorkers(w)}
+			if cfg.Timeout > 0 {
+				opts = append(opts, disqo.WithTimeout(cfg.Timeout))
+			}
+			start := time.Now()
+			res, err := db.Query(Q1, opts...)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("harness: worker sweep w=%d: %w", w, err)
+			}
+			if elapsed < best.Seconds {
+				best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
+			}
+			canon = canonicalRows(res)
+		}
+		if baseline == nil {
+			baseline = canon
+		} else if !sameRows(baseline, canon) {
+			return nil, fmt.Errorf("harness: worker count %d changed the result set", w)
+		}
+		tab.set(disqo.Unnested, fmt.Sprintf("w=%d", w), best)
+	}
+	return tab, nil
+}
+
+// canonicalRows renders a result's rows sorted, for order-insensitive
+// identity comparison across worker counts.
+func canonicalRows(res *disqo.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Experiment names in presentation order.
-var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation"}
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers"}
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config, progress func(string)) (*Table, error) {
@@ -364,6 +449,8 @@ func Run(id string, cfg Config, progress func(string)) (*Table, error) {
 		return Quantified(cfg, progress)
 	case "ablation":
 		return Ablation(cfg, progress)
+	case "workers":
+		return WorkerSweep(cfg, nil, progress)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Order, ", "))
 	}

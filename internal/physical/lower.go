@@ -1,0 +1,429 @@
+package physical
+
+import (
+	"fmt"
+
+	"disqo/internal/agg"
+	"disqo/internal/algebra"
+	"disqo/internal/stats"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// Planner lowers logical algebra into physical plans. It memoizes per
+// logical operator so DAG-shaped plans (shared bypass subplans) lower
+// to DAG-shaped physical plans, and it eagerly lowers every nested
+// subquery plan reachable through operator expressions so the executor
+// never has to plan during evaluation (which would need locking under
+// parallel execution).
+//
+// Algorithm selection rules, in order:
+//
+//	join, semijoin, antijoin, outerjoin, bypass-join positive stream:
+//	    hash on the equality conjuncts when any exist (residual
+//	    conjuncts re-checked per matched pair), nested loops otherwise.
+//	binary grouping: hash when the predicate is pure equality; the
+//	    sort-based prefix/suffix algorithm for a single column
+//	    inequality with decomposable single-partial aggregates;
+//	    nested loops otherwise.
+//	σ over the negative stream of ⋈±: fused into the stream, with the
+//	    filter's side-local conjuncts pre-reducing each join input.
+//
+// The rules are deliberately deterministic — hashing a materialized
+// input is never slower than the quadratic scan at more than a handful
+// of tuples, and stable choices keep golden plans byte-stable. The
+// estimator supplies every node's cardinality annotation, which is what
+// makes each choice auditable in EXPLAIN.
+type Planner struct {
+	est  *stats.Estimator
+	memo map[algebra.Op]Node
+}
+
+// NewPlanner returns a planner costing with the given estimator.
+func NewPlanner(est *stats.Estimator) *Planner {
+	return &Planner{est: est, memo: make(map[algebra.Op]Node)}
+}
+
+// NodeFor returns the already-lowered physical node for a logical
+// operator, if any. Subquery plans embedded in expressions are lowered
+// as part of lowering their enclosing operator, so after Lower(root)
+// this resolves every plan evaluation can reach.
+func (p *Planner) NodeFor(op algebra.Op) (Node, bool) {
+	n, ok := p.memo[op]
+	return n, ok
+}
+
+// Lower produces the physical plan for a logical operator (memoized).
+func (p *Planner) Lower(op algebra.Op) (Node, error) {
+	if n, ok := p.memo[op]; ok {
+		return n, nil
+	}
+	n, err := p.lower(op)
+	if err != nil {
+		return nil, err
+	}
+	p.memo[op] = n
+	// Pre-lower nested query blocks referenced by this operator's
+	// expressions (scalar/quantified subqueries and their arguments).
+	for _, e := range algebra.Exprs(op) {
+		for _, sub := range algebra.Subplans(e) {
+			if _, err := p.Lower(sub); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func (p *Planner) lower(op algebra.Op) (Node, error) {
+	b := base{logical: op, est: p.est.Cardinality(op)}
+	switch x := op.(type) {
+	case *algebra.Scan:
+		return &Scan{base: b, Table: x.Table}, nil
+
+	case *algebra.Select:
+		// σ over the negative stream of ⋈± fuses into the stream
+		// (Eqv. 5's σ_p(R ⋈− S)): the filter is applied during
+		// complement enumeration instead of after materialization.
+		if st, ok := x.Child.(*algebra.Stream); ok && !st.Positive {
+			if bj, ok := st.Source.(*algebra.BypassJoin); ok {
+				src, err := p.Lower(bj)
+				if err != nil {
+					return nil, err
+				}
+				fl, fr, rest := splitFused(x.Pred, bj.L.Schema(), bj.R.Schema())
+				return &Stream{base: b, Source: src, Positive: false,
+					FusedL: fl, FusedR: fr, FusedRest: rest}, nil
+			}
+		}
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Filter{base: b, Child: child, Pred: x.Pred}, nil
+
+	case *algebra.BypassSelect:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &BypassFilter{base: b, Child: child, Pred: x.Pred}, nil
+
+	case *algebra.Stream:
+		src, err := p.Lower(x.Source)
+		if err != nil {
+			return nil, err
+		}
+		switch src.(type) {
+		case *BypassFilter, *BypassJoin:
+		default:
+			return nil, fmt.Errorf("physical: Stream over non-bypass operator %T", x.Source)
+		}
+		return &Stream{base: b, Source: src, Positive: x.Positive}, nil
+
+	case *algebra.Project:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := x.Child.Schema().Projection(x.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{base: b, Child: child, Cols: cols}, nil
+
+	case *algebra.Rename:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Rename{base: b, Child: child}, nil
+
+	case *algebra.MapOp:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Map{base: b, Child: child, Attr: x.Attr, Expr: x.Expr}, nil
+
+	case *algebra.Number:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Number{base: b, Child: child, Attr: x.Attr}, nil
+
+	case *algebra.CrossProduct:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &NLJoin{base: b, L: l, R: r, Mode: JoinInner}, nil
+
+	case *algebra.Join:
+		return p.lowerJoin(b, x.L, x.R, x.Pred, JoinInner)
+
+	case *algebra.SemiJoin:
+		return p.lowerJoin(b, x.L, x.R, x.Pred, JoinSemi)
+
+	case *algebra.AntiJoin:
+		return p.lowerJoin(b, x.L, x.R, x.Pred, JoinAnti)
+
+	case *algebra.LeftOuterJoin:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		pad := make([]types.Value, x.R.Schema().Len())
+		for _, d := range x.Defaults {
+			if i := x.R.Schema().Index(d.Attr); i >= 0 {
+				pad[i] = d.Val
+			}
+		}
+		j := &OuterJoin{base: b, L: l, R: r, Pred: x.Pred, Pad: pad}
+		keys, residual := splitEquiJoin(x.Pred, x.L.Schema(), x.R.Schema())
+		if len(keys) > 0 {
+			j.Hash = true
+			j.LCols, j.RCols = keyCols(keys)
+			j.Residual = andOrNil(residual)
+		}
+		return j, nil
+
+	case *algebra.BypassJoin:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		j := &BypassJoin{base: b, L: l, R: r, Pred: x.Pred}
+		keys, residual := splitEquiJoin(x.Pred, x.L.Schema(), x.R.Schema())
+		if len(keys) > 0 {
+			j.LCols, j.RCols = keyCols(keys)
+			j.Residual = andOrNil(residual)
+		}
+		return j, nil
+
+	case *algebra.GroupBy:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.Attrs) == 0 && !x.Global {
+			return nil, fmt.Errorf("physical: grouping without attributes requires Global")
+		}
+		keyCols, err := x.Child.Schema().Projection(x.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Group{base: b, Child: child, KeyCols: keyCols, Attrs: x.Attrs,
+			Aggs: x.Aggs, Global: x.Global}, nil
+
+	case *algebra.BinaryGroup:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		keys, residual := splitEquiJoin(x.Pred, x.L.Schema(), x.R.Schema())
+		if len(keys) > 0 && len(residual) == 0 {
+			lc, rc := keyCols(keys)
+			return &BinaryGroupHash{base: b, L: l, R: r, LCols: lc, RCols: rc, Aggs: x.Aggs}, nil
+		}
+		if lcol, rcol, cop, ok := thetaGroupable(x); ok {
+			return &BinaryGroupSort{base: b, L: l, R: r,
+				LIdx: x.L.Schema().Index(lcol), RIdx: x.R.Schema().Index(rcol),
+				Op: cop, Aggs: x.Aggs}, nil
+		}
+		return &BinaryGroupNL{base: b, L: l, R: r, Pred: x.Pred, Aggs: x.Aggs}, nil
+
+	case *algebra.UnionDisjoint:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Union{base: b, L: l, R: r, Disjoint: true}, nil
+
+	case *algebra.UnionAll:
+		l, r, err := p.lower2(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Union{base: b, L: l, R: r}, nil
+
+	case *algebra.Distinct:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Distinct{base: b, Child: child}, nil
+
+	case *algebra.Sort:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, len(x.Keys))
+		desc := make([]bool, len(x.Keys))
+		for i, k := range x.Keys {
+			c := x.Child.Schema().Index(k.Attr)
+			if c < 0 {
+				return nil, fmt.Errorf("physical: sort key %q not in %s", k.Attr, x.Child.Schema())
+			}
+			cols[i] = c
+			desc[i] = k.Desc
+		}
+		return &Sort{base: b, Child: child, Cols: cols, Desc: desc}, nil
+
+	case *algebra.Limit:
+		child, err := p.Lower(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &Limit{base: b, Child: child, N: x.N}, nil
+
+	default:
+		return nil, fmt.Errorf("physical: unsupported operator %T", op)
+	}
+}
+
+func (p *Planner) lower2(l, r algebra.Op) (Node, Node, error) {
+	ln, err := p.Lower(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	rn, err := p.Lower(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ln, rn, nil
+}
+
+// lowerJoin picks the join algorithm: hash on equality conjuncts when
+// any exist, nested loops otherwise.
+func (p *Planner) lowerJoin(b base, lop, rop algebra.Op, pred algebra.Expr, mode JoinMode) (Node, error) {
+	l, r, err := p.lower2(lop, rop)
+	if err != nil {
+		return nil, err
+	}
+	keys, residual := splitEquiJoin(pred, lop.Schema(), rop.Schema())
+	if len(keys) > 0 {
+		lc, rc := keyCols(keys)
+		return &HashJoin{base: b, L: l, R: r, Mode: mode,
+			LCols: lc, RCols: rc, Residual: andOrNil(residual)}, nil
+	}
+	return &NLJoin{base: b, L: l, R: r, Mode: mode, Pred: pred}, nil
+}
+
+// equiKey is one equality conjunct usable for hashing: positions of the
+// key columns in the left and right schemas.
+type equiKey struct {
+	l, r int
+}
+
+// splitEquiJoin extracts hashable equality conjuncts (L-column =
+// R-column) from a join predicate, returning the keys and the residual
+// conjuncts that must still be evaluated per matched pair.
+func splitEquiJoin(pred algebra.Expr, ls, rs *storage.Schema) (keys []equiKey, residual []algebra.Expr) {
+	if pred == nil {
+		return nil, nil
+	}
+	for _, c := range algebra.SplitConjuncts(pred) {
+		cmp, ok := c.(*algebra.CmpExpr)
+		if ok && cmp.Op == types.EQ {
+			lc, lok := cmp.L.(*algebra.ColRef)
+			rc, rok := cmp.R.(*algebra.ColRef)
+			if lok && rok {
+				if li, ri := ls.Index(lc.Name), rs.Index(rc.Name); li >= 0 && ri >= 0 {
+					keys = append(keys, equiKey{l: li, r: ri})
+					continue
+				}
+				if li, ri := ls.Index(rc.Name), rs.Index(lc.Name); li >= 0 && ri >= 0 {
+					keys = append(keys, equiKey{l: li, r: ri})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, residual
+}
+
+func keyCols(keys []equiKey) (lcols, rcols []int) {
+	lcols = make([]int, len(keys))
+	rcols = make([]int, len(keys))
+	for i, k := range keys {
+		lcols[i] = k.l
+		rcols[i] = k.r
+	}
+	return lcols, rcols
+}
+
+func andOrNil(conjuncts []algebra.Expr) algebra.Expr {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	return algebra.And(conjuncts...)
+}
+
+// splitFused partitions a fused negative-stream filter into conjuncts
+// referencing only the left input, only the right input, and the rest,
+// by schema membership. Side-local conjuncts pre-reduce the join inputs
+// before complement enumeration.
+func splitFused(fused algebra.Expr, ls, rs *storage.Schema) (l, r, rest algebra.Expr) {
+	var lOnly, rOnly, other []algebra.Expr
+	for _, c := range algebra.SplitConjuncts(fused) {
+		cols := c.Columns(nil)
+		inL, inR := true, true
+		for _, col := range cols {
+			if !ls.Has(col) {
+				inL = false
+			}
+			if !rs.Has(col) {
+				inR = false
+			}
+		}
+		switch {
+		case inL && len(cols) > 0:
+			lOnly = append(lOnly, c)
+		case inR && len(cols) > 0:
+			rOnly = append(rOnly, c)
+		default:
+			other = append(other, c)
+		}
+	}
+	return andOrNil(lOnly), andOrNil(rOnly), andOrNil(other)
+}
+
+// thetaGroupable reports whether a binary grouping can run sort-based:
+// a single column-vs-column inequality and all aggregates decomposable
+// with single-valued partials (no DISTINCT, no AVG — AVG decomposes
+// into two partials and is rewritten upstream).
+func thetaGroupable(bg *algebra.BinaryGroup) (lcol, rcol string, op types.CompareOp, ok bool) {
+	cmp, isCmp := bg.Pred.(*algebra.CmpExpr)
+	if !isCmp {
+		return "", "", 0, false
+	}
+	switch cmp.Op {
+	case types.LT, types.LE, types.GT, types.GE:
+	default:
+		return "", "", 0, false
+	}
+	l, lok := cmp.L.(*algebra.ColRef)
+	r, rok := cmp.R.(*algebra.ColRef)
+	if !lok || !rok {
+		return "", "", 0, false
+	}
+	op = cmp.Op
+	if bg.L.Schema().Has(l.Name) && bg.R.Schema().Has(r.Name) {
+		lcol, rcol = l.Name, r.Name
+	} else if bg.L.Schema().Has(r.Name) && bg.R.Schema().Has(l.Name) {
+		lcol, rcol = r.Name, l.Name
+		op = op.Flip()
+	} else {
+		return "", "", 0, false
+	}
+	for _, item := range bg.Aggs {
+		if item.Spec.Distinct || item.Spec.Kind == agg.Avg {
+			return "", "", 0, false
+		}
+	}
+	return lcol, rcol, op, true
+}

@@ -1,0 +1,310 @@
+package physical_test
+
+import (
+	"strings"
+	"testing"
+
+	"disqo/internal/agg"
+	"disqo/internal/algebra"
+	"disqo/internal/catalog"
+	"disqo/internal/physical"
+	"disqo/internal/stats"
+	"disqo/internal/types"
+)
+
+// Unit tests for the lowering rules: every algorithm choice the planner
+// makes (hash vs nested-loops joins, the three binary-grouping
+// algorithms, fused negative-stream filters) is pinned here, together
+// with the structural guarantees the executor relies on — DAG sharing,
+// eager subquery pre-lowering, and cardinality annotations.
+
+func testCat(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, spec := range []struct{ name, prefix string }{{"r", "a"}, {"s", "b"}} {
+		tbl, err := cat.Create(spec.name, []catalog.Column{
+			{Name: spec.prefix + "1", Type: types.KindInt},
+			{Name: spec.prefix + "2", Type: types.KindInt},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 3; i++ {
+			if err := tbl.Insert([]types.Value{types.NewInt(i), types.NewInt(i * 10)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return cat
+}
+
+func scanOf(t *testing.T, cat *catalog.Catalog, name string) *algebra.Scan {
+	t.Helper()
+	tbl, err := cat.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.NewScan(name, name, tbl.Rel.Schema)
+}
+
+func lower(t *testing.T, cat *catalog.Catalog, op algebra.Op) physical.Node {
+	t.Helper()
+	n, err := physical.NewPlanner(stats.New(cat)).Lower(op)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return n
+}
+
+func eq(l, r string) algebra.Expr {
+	return algebra.Cmp(types.EQ, algebra.Col(l), algebra.Col(r))
+}
+
+func countAgg() []algebra.AggItem {
+	return []algebra.AggItem{{Out: "g1", Spec: agg.Spec{Kind: agg.Count, Star: true}}}
+}
+
+func TestLowerJoinPicksHashOnEquiKeys(t *testing.T) {
+	cat := testCat(t)
+	j := lower(t, cat, algebra.NewJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), eq("r.a1", "s.b1")))
+	h, ok := j.(*physical.HashJoin)
+	if !ok {
+		t.Fatalf("equi join lowered to %T, want *HashJoin", j)
+	}
+	if h.Mode != physical.JoinInner || len(h.LCols) != 1 || h.LCols[0] != 0 || h.RCols[0] != 0 {
+		t.Errorf("HashJoin = mode %v keys %v/%v", h.Mode, h.LCols, h.RCols)
+	}
+	if h.Residual != nil {
+		t.Errorf("pure equi join must have no residual, got %v", h.Residual)
+	}
+}
+
+func TestLowerJoinKeepsResidualConjuncts(t *testing.T) {
+	cat := testCat(t)
+	pred := algebra.And(eq("r.a1", "s.b1"), algebra.Cmp(types.LT, algebra.Col("r.a2"), algebra.Col("s.b2")))
+	j := lower(t, cat, algebra.NewJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred))
+	h, ok := j.(*physical.HashJoin)
+	if !ok {
+		t.Fatalf("mixed predicate lowered to %T, want *HashJoin", j)
+	}
+	if h.Residual == nil {
+		t.Error("inequality conjunct must survive as residual")
+	}
+}
+
+func TestLowerJoinFallsBackToNestedLoops(t *testing.T) {
+	cat := testCat(t)
+	pred := algebra.Cmp(types.LT, algebra.Col("r.a1"), algebra.Col("s.b1"))
+	j := lower(t, cat, algebra.NewJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred))
+	nl, ok := j.(*physical.NLJoin)
+	if !ok {
+		t.Fatalf("inequality join lowered to %T, want *NLJoin", j)
+	}
+	if nl.Pred == nil || nl.Mode != physical.JoinInner {
+		t.Errorf("NLJoin = pred %v mode %v", nl.Pred, nl.Mode)
+	}
+}
+
+func TestLowerSemiAndAntiJoinModes(t *testing.T) {
+	cat := testCat(t)
+	semi := lower(t, cat, algebra.NewSemiJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), eq("r.a1", "s.b1")))
+	if h, ok := semi.(*physical.HashJoin); !ok || h.Mode != physical.JoinSemi {
+		t.Errorf("semijoin lowered to %T mode %v, want HashJoin/JoinSemi", semi, semi)
+	}
+	anti := lower(t, cat, algebra.NewAntiJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"),
+		algebra.Cmp(types.GT, algebra.Col("r.a1"), algebra.Col("s.b1"))))
+	if nl, ok := anti.(*physical.NLJoin); !ok || nl.Mode != physical.JoinAnti {
+		t.Errorf("antijoin lowered to %T, want NLJoin/JoinAnti", anti)
+	}
+}
+
+func TestLowerCrossProductIsPredlessNLJoin(t *testing.T) {
+	cat := testCat(t)
+	c := lower(t, cat, algebra.NewCross(scanOf(t, cat, "r"), scanOf(t, cat, "s")))
+	nl, ok := c.(*physical.NLJoin)
+	if !ok {
+		t.Fatalf("cross product lowered to %T, want *NLJoin", c)
+	}
+	if nl.Pred != nil {
+		t.Errorf("cross product must carry no predicate, got %v", nl.Pred)
+	}
+}
+
+func TestLowerBinaryGroupHashOnPureEquality(t *testing.T) {
+	cat := testCat(t)
+	bg := lower(t, cat, algebra.NewBinaryGroup(
+		scanOf(t, cat, "r"), scanOf(t, cat, "s"), eq("r.a1", "s.b1"), countAgg()))
+	if _, ok := bg.(*physical.BinaryGroupHash); !ok {
+		t.Fatalf("equality binary group lowered to %T, want *BinaryGroupHash", bg)
+	}
+}
+
+func TestLowerBinaryGroupSortOnInequality(t *testing.T) {
+	cat := testCat(t)
+	pred := algebra.Cmp(types.LT, algebra.Col("r.a2"), algebra.Col("s.b2"))
+	bg := lower(t, cat, algebra.NewBinaryGroup(
+		scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred, countAgg()))
+	s, ok := bg.(*physical.BinaryGroupSort)
+	if !ok {
+		t.Fatalf("inequality binary group lowered to %T, want *BinaryGroupSort", bg)
+	}
+	if s.LIdx != 1 || s.RIdx != 1 || s.Op != types.LT {
+		t.Errorf("BinaryGroupSort = L[%d] %v R[%d]", s.LIdx, s.Op, s.RIdx)
+	}
+}
+
+func TestLowerBinaryGroupSortFlipsSwappedOperands(t *testing.T) {
+	cat := testCat(t)
+	// b2 < a2 references the right column on the comparison's left, so
+	// the planner must swap operands and flip the comparison to a2 > b2.
+	pred := algebra.Cmp(types.LT, algebra.Col("s.b2"), algebra.Col("r.a2"))
+	bg := lower(t, cat, algebra.NewBinaryGroup(
+		scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred, countAgg()))
+	s, ok := bg.(*physical.BinaryGroupSort)
+	if !ok {
+		t.Fatalf("flipped inequality lowered to %T, want *BinaryGroupSort", bg)
+	}
+	if s.LIdx != 1 || s.RIdx != 1 || s.Op != types.GT {
+		t.Errorf("BinaryGroupSort = L[%d] %v R[%d], want L[1] > R[1]", s.LIdx, s.Op, s.RIdx)
+	}
+}
+
+func TestLowerBinaryGroupNLForComplexPredicates(t *testing.T) {
+	cat := testCat(t)
+	// A conjunction with a constant term is no longer a bare
+	// column-vs-column inequality, so neither hash nor sort applies.
+	pred := algebra.And(
+		algebra.Cmp(types.LT, algebra.Col("r.a2"), algebra.Col("s.b2")),
+		algebra.Const(types.NewBool(true)))
+	bg := lower(t, cat, algebra.NewBinaryGroup(
+		scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred, countAgg()))
+	if _, ok := bg.(*physical.BinaryGroupNL); !ok {
+		t.Fatalf("complex binary group lowered to %T, want *BinaryGroupNL", bg)
+	}
+}
+
+func TestLowerBinaryGroupNLForDistinctAggregates(t *testing.T) {
+	cat := testCat(t)
+	// DISTINCT partials are not single-valued, so the sort-based
+	// algorithm's prefix/suffix decomposition does not apply.
+	aggs := []algebra.AggItem{{Out: "g1", Spec: agg.Spec{Kind: agg.Count, Star: true, Distinct: true}}}
+	pred := algebra.Cmp(types.LT, algebra.Col("r.a2"), algebra.Col("s.b2"))
+	bg := lower(t, cat, algebra.NewBinaryGroup(
+		scanOf(t, cat, "r"), scanOf(t, cat, "s"), pred, aggs))
+	if _, ok := bg.(*physical.BinaryGroupNL); !ok {
+		t.Fatalf("DISTINCT binary group lowered to %T, want *BinaryGroupNL", bg)
+	}
+}
+
+func TestLowerFusedNegativeStreamFilter(t *testing.T) {
+	cat := testCat(t)
+	bj := algebra.NewBypassJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), eq("r.a1", "s.b1"))
+	pred := algebra.And(
+		algebra.Cmp(types.GT, algebra.Col("r.a2"), algebra.ConstInt(5)),
+		algebra.Cmp(types.GT, algebra.Col("s.b2"), algebra.ConstInt(7)),
+		algebra.Cmp(types.NE, algebra.Col("r.a2"), algebra.Col("s.b2")))
+	n := lower(t, cat, algebra.NewSelect(algebra.Neg(bj), pred))
+	st, ok := n.(*physical.Stream)
+	if !ok {
+		t.Fatalf("σ over −stream lowered to %T, want fused *Stream", n)
+	}
+	if st.Positive {
+		t.Error("fused stream must stay negative")
+	}
+	if st.FusedL == nil || st.FusedR == nil || st.FusedRest == nil {
+		t.Errorf("fused split = L:%v R:%v rest:%v, want all three populated",
+			st.FusedL, st.FusedR, st.FusedRest)
+	}
+	if _, ok := st.Source.(*physical.BypassJoin); !ok {
+		t.Errorf("fused stream source is %T, want *BypassJoin", st.Source)
+	}
+}
+
+func TestLowerPreservesDAGSharing(t *testing.T) {
+	cat := testCat(t)
+	shared := algebra.NewBypassSelect(scanOf(t, cat, "r"),
+		algebra.Cmp(types.GT, algebra.Col("r.a2"), algebra.ConstInt(10)))
+	root := algebra.NewUnionDisjoint(algebra.Pos(shared), algebra.Neg(shared))
+	n := lower(t, cat, root)
+	u, ok := n.(*physical.Union)
+	if !ok {
+		t.Fatalf("lowered to %T, want *Union", n)
+	}
+	pos, ok := u.L.(*physical.Stream)
+	if !ok {
+		t.Fatalf("union left is %T, want *Stream", u.L)
+	}
+	neg, ok := u.R.(*physical.Stream)
+	if !ok {
+		t.Fatalf("union right is %T, want *Stream", u.R)
+	}
+	if pos.Source != neg.Source {
+		t.Error("both streams must share one physical bypass node (DAG, not tree)")
+	}
+}
+
+func TestLowerPreLowersSubqueryPlans(t *testing.T) {
+	cat := testCat(t)
+	sub := algebra.NewGroupBy(scanOf(t, cat, "s"), nil,
+		[]algebra.AggItem{{Out: "c", Spec: agg.Spec{Kind: agg.Count, Star: true}}}, true)
+	pred := algebra.Cmp(types.EQ, algebra.Col("r.a1"),
+		&algebra.ScalarSubquery{Agg: agg.Spec{Kind: agg.Count, Star: true}, Plan: sub})
+	p := physical.NewPlanner(stats.New(cat))
+	if _, err := p.Lower(algebra.NewSelect(scanOf(t, cat, "r"), pred)); err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	if _, ok := p.NodeFor(sub); !ok {
+		t.Error("subquery plan must be pre-lowered with its enclosing operator")
+	}
+}
+
+func TestLowerAnnotatesCardinalities(t *testing.T) {
+	cat := testCat(t)
+	n := lower(t, cat, algebra.NewJoin(scanOf(t, cat, "r"), scanOf(t, cat, "s"), eq("r.a1", "s.b1")))
+	physical.Walk(n, func(m physical.Node) bool {
+		if m.EstRows() < 0 {
+			t.Errorf("%s: negative cardinality estimate %g", m.Label(), m.EstRows())
+		}
+		return true
+	})
+	// The scans carry the catalog's exact counts.
+	scans := 0
+	physical.Walk(n, func(m physical.Node) bool {
+		if sc, ok := m.(*physical.Scan); ok {
+			scans++
+			if sc.EstRows() != 3 {
+				t.Errorf("scan(%s) est %g rows, want 3", sc.Table, sc.EstRows())
+			}
+		}
+		return true
+	})
+	if scans != 2 {
+		t.Errorf("walked %d scans, want 2", scans)
+	}
+}
+
+func TestLowerMemoizesPerOperator(t *testing.T) {
+	cat := testCat(t)
+	p := physical.NewPlanner(stats.New(cat))
+	op := algebra.NewSelect(scanOf(t, cat, "r"),
+		algebra.Cmp(types.GT, algebra.Col("r.a1"), algebra.ConstInt(0)))
+	a, err := p.Lower(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Lower(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("re-lowering the same logical op must return the memoized node")
+	}
+}
+
+func TestLowerRejectsStreamOverNonBypass(t *testing.T) {
+	cat := testCat(t)
+	_, err := physical.NewPlanner(stats.New(cat)).Lower(algebra.Pos(scanOf(t, cat, "r")))
+	if err == nil || !strings.Contains(err.Error(), "non-bypass") {
+		t.Errorf("err = %v, want stream-over-non-bypass rejection", err)
+	}
+}

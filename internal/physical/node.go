@@ -1,0 +1,487 @@
+// Package physical defines disqo's physical plan layer: the executable
+// operator tree the planner lowers logical algebra into. Where the
+// logical algebra (internal/algebra) says *what* to compute — join,
+// bypass selection, binary grouping — a physical node says *how*: hash
+// join vs. nested loops, sort-based vs. hash-based binary grouping,
+// which column positions carry the keys, and which predicate fragments
+// remain residual. All algorithm choices the executor used to make
+// inline now happen once, in Planner.Lower, where they are visible to
+// EXPLAIN and testable in isolation; every node carries the estimated
+// output cardinality from internal/stats.
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"disqo/internal/algebra"
+	"disqo/internal/storage"
+	"disqo/internal/types"
+)
+
+// Node is one physical operator. Children() returns the physical
+// inputs; Logical() the algebra operator this node was lowered from
+// (several physical nodes may share one logical operator's schema and
+// EXPLAIN ANALYZE attributes its row counts through this link).
+type Node interface {
+	// Logical returns the algebra operator this node implements.
+	Logical() algebra.Op
+	// Schema returns the output schema (the logical operator's).
+	Schema() *storage.Schema
+	// Children returns the physical inputs in evaluation order.
+	Children() []Node
+	// Label renders the operator with its physical details.
+	Label() string
+	// EstRows is the planner's estimated output cardinality.
+	EstRows() float64
+}
+
+// base carries the fields every node shares.
+type base struct {
+	logical algebra.Op
+	est     float64
+}
+
+func (b *base) Logical() algebra.Op     { return b.logical }
+func (b *base) Schema() *storage.Schema { return b.logical.Schema() }
+func (b *base) EstRows() float64        { return b.est }
+
+// JoinMode selects what a join emits: matched pairs (inner), left
+// tuples with a match (semi), or left tuples without one (anti).
+type JoinMode uint8
+
+// The join modes.
+const (
+	JoinInner JoinMode = iota
+	JoinSemi
+	JoinAnti
+)
+
+func (m JoinMode) String() string {
+	switch m {
+	case JoinSemi:
+		return "semi"
+	case JoinAnti:
+		return "anti"
+	default:
+		return "inner"
+	}
+}
+
+// Scan reads a base table.
+type Scan struct {
+	base
+	Table string
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Label implements Node.
+func (s *Scan) Label() string { return "Scan(" + s.Table + ")" }
+
+// Filter keeps tuples satisfying the predicate (σ).
+type Filter struct {
+	base
+	Child Node
+	Pred  algebra.Expr
+}
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// Label implements Node.
+func (f *Filter) Label() string { return fmt.Sprintf("Filter[%s]", f.Pred) }
+
+// BypassFilter partitions its input into a TRUE stream and a not-TRUE
+// stream (σ±). It is only consumed through Stream nodes, which select
+// one side; the executor evaluates both sides in a single pass.
+type BypassFilter struct {
+	base
+	Child Node
+	Pred  algebra.Expr
+}
+
+// Children implements Node.
+func (f *BypassFilter) Children() []Node { return []Node{f.Child} }
+
+// Label implements Node.
+func (f *BypassFilter) Label() string { return fmt.Sprintf("Filter±[%s]", f.Pred) }
+
+// Stream selects the positive or negative output of a bypass operator.
+// When the logical plan fuses a σ onto the negative stream of a bypass
+// join (Eqv. 5's σ_p(R ⋈− S)), the planner splits the fused predicate by
+// schema membership once: FusedL/FusedR pre-reduce the join inputs,
+// FusedRest is checked per surviving pair during enumeration.
+type Stream struct {
+	base
+	Source   Node
+	Positive bool
+	// Fused filter fragments (negative bypass-join streams only; nil
+	// otherwise). Fused reports whether any fragment is set.
+	FusedL, FusedR, FusedRest algebra.Expr
+}
+
+// Fused reports whether the stream carries a fused filter.
+func (s *Stream) Fused() bool {
+	return s.FusedL != nil || s.FusedR != nil || s.FusedRest != nil
+}
+
+// Children implements Node.
+func (s *Stream) Children() []Node { return []Node{s.Source} }
+
+// Label implements Node.
+func (s *Stream) Label() string {
+	sign := "-"
+	if s.Positive {
+		sign = "+"
+	}
+	if !s.Fused() {
+		return "Stream" + sign
+	}
+	frag := make([]string, 0, 3)
+	for _, p := range []struct {
+		tag string
+		e   algebra.Expr
+	}{{"L:", s.FusedL}, {"R:", s.FusedR}, {"rest:", s.FusedRest}} {
+		if p.e != nil {
+			frag = append(frag, p.tag+p.e.String())
+		}
+	}
+	return fmt.Sprintf("Stream%s⋅Filter[%s]", sign, strings.Join(frag, " "))
+}
+
+// Project restricts tuples to the named columns; Cols are the resolved
+// positions in the child schema.
+type Project struct {
+	base
+	Child Node
+	Cols  []int
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Label implements Node.
+func (p *Project) Label() string { return fmt.Sprintf("Project%s", p.Schema()) }
+
+// Rename relabels attributes; tuples pass through untouched.
+type Rename struct {
+	base
+	Child Node
+}
+
+// Children implements Node.
+func (r *Rename) Children() []Node { return []Node{r.Child} }
+
+// Label implements Node.
+func (r *Rename) Label() string { return "Rename" + r.Schema().String() }
+
+// Map extends each tuple with one computed attribute (χ).
+type Map struct {
+	base
+	Child Node
+	Attr  string
+	Expr  algebra.Expr
+}
+
+// Children implements Node.
+func (m *Map) Children() []Node { return []Node{m.Child} }
+
+// Label implements Node.
+func (m *Map) Label() string { return fmt.Sprintf("Map[%s:%s]", m.Attr, m.Expr) }
+
+// Number extends each tuple with its 1-based input position (ν).
+type Number struct {
+	base
+	Child Node
+	Attr  string
+}
+
+// Children implements Node.
+func (n *Number) Children() []Node { return []Node{n.Child} }
+
+// Label implements Node.
+func (n *Number) Label() string { return fmt.Sprintf("Number[%s]", n.Attr) }
+
+// HashJoin joins by building a hash table on the right input's key
+// columns and probing with the left's. Residual holds the non-equality
+// conjuncts re-checked per matched pair (nil when none).
+type HashJoin struct {
+	base
+	L, R     Node
+	Mode     JoinMode
+	LCols    []int
+	RCols    []int
+	Residual algebra.Expr
+}
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *HashJoin) Label() string {
+	name := "HashJoin"
+	if j.Mode != JoinInner {
+		name = fmt.Sprintf("HashJoin(%s)", j.Mode)
+	}
+	keys := make([]string, len(j.LCols))
+	ls, rs := j.L.Schema(), j.R.Schema()
+	for i := range j.LCols {
+		keys[i] = ls.Attr(j.LCols[i]) + "=" + rs.Attr(j.RCols[i])
+	}
+	out := fmt.Sprintf("%s[%s]", name, strings.Join(keys, " ∧ "))
+	if j.Residual != nil {
+		out += fmt.Sprintf(" residual[%s]", j.Residual)
+	}
+	return out
+}
+
+// NLJoin joins by nested loops. A nil Pred is a cross product.
+type NLJoin struct {
+	base
+	L, R Node
+	Mode JoinMode
+	Pred algebra.Expr
+}
+
+// Children implements Node.
+func (j *NLJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *NLJoin) Label() string {
+	name := "NLJoin"
+	if j.Mode != JoinInner {
+		name = fmt.Sprintf("NLJoin(%s)", j.Mode)
+	}
+	if j.Pred == nil {
+		return name + "[cross]"
+	}
+	return fmt.Sprintf("%s[%s]", name, j.Pred)
+}
+
+// OuterJoin is the left outer join ⟕ with the paper's g:f(∅) defaults:
+// unmatched left tuples are padded with Pad (NULLs except the Default
+// attributes). Hash selects the algorithm; hash joins use LCols/RCols/
+// Residual, nested-loop joins use Pred.
+type OuterJoin struct {
+	base
+	L, R     Node
+	Hash     bool
+	LCols    []int
+	RCols    []int
+	Residual algebra.Expr
+	Pred     algebra.Expr
+	Pad      []types.Value
+}
+
+// Children implements Node.
+func (j *OuterJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *OuterJoin) Label() string {
+	if !j.Hash {
+		return fmt.Sprintf("NLOuterJoin[%s]", j.Pred)
+	}
+	keys := make([]string, len(j.LCols))
+	ls, rs := j.L.Schema(), j.R.Schema()
+	for i := range j.LCols {
+		keys[i] = ls.Attr(j.LCols[i]) + "=" + rs.Attr(j.RCols[i])
+	}
+	out := fmt.Sprintf("HashOuterJoin[%s]", strings.Join(keys, " ∧ "))
+	if j.Residual != nil {
+		out += fmt.Sprintf(" residual[%s]", j.Residual)
+	}
+	return out
+}
+
+// BypassJoin is ⋈±: consumed through Stream nodes, its positive stream
+// is the ordinary join and its negative stream the complement pairs.
+// The positive stream hashes on LCols/RCols when present (Residual per
+// pair); the negative stream always enumerates.
+type BypassJoin struct {
+	base
+	L, R     Node
+	Pred     algebra.Expr
+	LCols    []int
+	RCols    []int
+	Residual algebra.Expr
+}
+
+// Children implements Node.
+func (j *BypassJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *BypassJoin) Label() string {
+	algo := "nl"
+	if len(j.LCols) > 0 {
+		algo = "hash"
+	}
+	return fmt.Sprintf("BypassJoin(%s+)[%s]", algo, j.Pred)
+}
+
+// Group is the unary grouping operator Γ, hash-based with Identical key
+// semantics. KeyCols are the grouping columns resolved in the child
+// schema; Global groupings emit one row even on empty input.
+type Group struct {
+	base
+	Child   Node
+	KeyCols []int
+	Attrs   []string
+	Aggs    []algebra.AggItem
+	Global  bool
+}
+
+// Children implements Node.
+func (g *Group) Children() []Node { return []Node{g.Child} }
+
+// Label implements Node.
+func (g *Group) Label() string {
+	aggs := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggs[i] = a.Label()
+	}
+	if g.Global {
+		return fmt.Sprintf("HashGroup[global][%s]", strings.Join(aggs, ","))
+	}
+	return fmt.Sprintf("HashGroup[%v][%s]", g.Attrs, strings.Join(aggs, ","))
+}
+
+func binaryGroupAggs(aggs []algebra.AggItem) string {
+	out := make([]string, len(aggs))
+	for i, a := range aggs {
+		out[i] = a.Label()
+	}
+	return strings.Join(out, ",")
+}
+
+// BinaryGroupHash is Γ² over a pure equality predicate: hash the right
+// side on RCols, probe per left tuple, aggregate the matches.
+type BinaryGroupHash struct {
+	base
+	L, R  Node
+	LCols []int
+	RCols []int
+	Aggs  []algebra.AggItem
+}
+
+// Children implements Node.
+func (b *BinaryGroupHash) Children() []Node { return []Node{b.L, b.R} }
+
+// Label implements Node.
+func (b *BinaryGroupHash) Label() string {
+	keys := make([]string, len(b.LCols))
+	ls, rs := b.L.Schema(), b.R.Schema()
+	for i := range b.LCols {
+		keys[i] = ls.Attr(b.LCols[i]) + "=" + rs.Attr(b.RCols[i])
+	}
+	return fmt.Sprintf("HashBinaryGroup[%s][%s]", strings.Join(keys, " ∧ "), binaryGroupAggs(b.Aggs))
+}
+
+// BinaryGroupSort is Γ² over a single column inequality with
+// decomposable aggregates: sort the right side, precompute prefix and
+// suffix aggregates, binary-search per left tuple (May & Moerkotte).
+type BinaryGroupSort struct {
+	base
+	L, R Node
+	LIdx int
+	RIdx int
+	Op   types.CompareOp
+	Aggs []algebra.AggItem
+}
+
+// Children implements Node.
+func (b *BinaryGroupSort) Children() []Node { return []Node{b.L, b.R} }
+
+// Label implements Node.
+func (b *BinaryGroupSort) Label() string {
+	return fmt.Sprintf("SortBinaryGroup[%s %s %s][%s]",
+		b.L.Schema().Attr(b.LIdx), b.Op, b.R.Schema().Attr(b.RIdx),
+		binaryGroupAggs(b.Aggs))
+}
+
+// BinaryGroupNL is the Γ² fallback: nested-loop match enumeration for
+// arbitrary predicates (nil means every pair matches).
+type BinaryGroupNL struct {
+	base
+	L, R Node
+	Pred algebra.Expr
+	Aggs []algebra.AggItem
+}
+
+// Children implements Node.
+func (b *BinaryGroupNL) Children() []Node { return []Node{b.L, b.R} }
+
+// Label implements Node.
+func (b *BinaryGroupNL) Label() string {
+	return fmt.Sprintf("NLBinaryGroup[%s][%s]", b.Pred, binaryGroupAggs(b.Aggs))
+}
+
+// Union concatenates two inputs with equal schemas. Disjoint records
+// the rewriter's disjointness claim (the two streams of one bypass
+// operator); execution is concatenation either way.
+type Union struct {
+	base
+	L, R     Node
+	Disjoint bool
+}
+
+// Children implements Node.
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+
+// Label implements Node.
+func (u *Union) Label() string {
+	if u.Disjoint {
+		return "UnionDisjoint"
+	}
+	return "UnionAll"
+}
+
+// Distinct removes duplicate tuples (Identical semantics, first-seen
+// order).
+type Distinct struct {
+	base
+	Child Node
+}
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+// Label implements Node.
+func (d *Distinct) Label() string { return "Distinct" }
+
+// Sort orders tuples by the resolved key columns (stable).
+type Sort struct {
+	base
+	Child Node
+	Cols  []int
+	Desc  []bool
+}
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *Sort) Label() string {
+	keys := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		keys[i] = s.Child.Schema().Attr(c)
+		if s.Desc[i] {
+			keys[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("Sort[%s]", strings.Join(keys, ", "))
+}
+
+// Limit keeps the first N tuples.
+type Limit struct {
+	base
+	Child Node
+	N     int64
+}
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit[%d]", l.N) }

@@ -139,9 +139,22 @@ func (r *Relation) Append(t []types.Value) {
 	r.Tuples = append(r.Tuples, t)
 }
 
-// Clone returns a relation sharing tuple storage but with an independent
-// tuple slice (appending to the clone does not affect the original).
+// Clone returns a deep copy: both the tuple slice and every row are
+// independent of the original, so mutating a cloned row can never alias
+// tuples pinned elsewhere (the executor memo, a returned result set).
+// Use ShallowClone when only the slice needs to be independent.
 func (r *Relation) Clone() *Relation {
+	tuples := make([][]types.Value, len(r.Tuples))
+	for i, t := range r.Tuples {
+		tuples[i] = append([]types.Value(nil), t...)
+	}
+	return &Relation{Schema: r.Schema, Tuples: tuples}
+}
+
+// ShallowClone returns a relation sharing row storage but with an
+// independent tuple slice: appending to or reordering the clone does
+// not affect the original, but the rows themselves are shared.
+func (r *Relation) ShallowClone() *Relation {
 	return &Relation{Schema: r.Schema, Tuples: append([][]types.Value(nil), r.Tuples...)}
 }
 

@@ -150,6 +150,24 @@ func TestRelationCloneIndependence(t *testing.T) {
 	if r.Cardinality() != 1 || c.Cardinality() != 2 {
 		t.Error("Clone shares the tuple slice")
 	}
+	// Deep copy: mutating a cloned row must not reach the original.
+	c.Tuples[0][0] = types.NewInt(99)
+	if !types.TuplesIdentical(r.Tuples[0], ints(1)) {
+		t.Error("Clone shares row storage; mutation aliased the original")
+	}
+}
+
+func TestRelationShallowCloneSharesRows(t *testing.T) {
+	r := NewRelation(NewSchema("a"))
+	r.Append(ints(1))
+	c := r.ShallowClone()
+	c.Append(ints(2))
+	if r.Cardinality() != 1 || c.Cardinality() != 2 {
+		t.Error("ShallowClone shares the tuple slice")
+	}
+	if &r.Tuples[0][0] != &c.Tuples[0][0] {
+		t.Error("ShallowClone must share row storage")
+	}
 }
 
 func TestRelationCanonical(t *testing.T) {

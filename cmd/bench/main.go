@@ -12,12 +12,23 @@
 //	bench -repeat 3               # keep the fastest of three runs
 //	bench -exp fig7a -workers 4   # run with a 4-worker morsel pool
 //	bench -exp workers -workers 1,2,4   # 1-vs-N parallel speedup sweep
+//	bench -json .                 # also write BENCH_<exp>.json per experiment
+//	bench -cpuprofile cpu.pprof   # write a pprof CPU profile
+//	bench -memprofile mem.pprof   # write a pprof heap profile
+//
+// The -json files carry the per-cell timings plus a per-operator
+// breakdown (rows, calls, seconds per physical operator) from a
+// separate metrics-enabled run, so instrumentation never pollutes the
+// timed measurements.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,14 +46,42 @@ func main() {
 		repeat     = flag.Int("repeat", 1, "runs per cell; the fastest is kept")
 		workers    = flag.String("workers", "", "morsel-parallel worker counts: one value applies to every experiment, a comma list drives the 'workers' sweep (default: GOMAXPROCS)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
-		asJSON     = flag.Bool("json", false, "emit results as JSON instead of tables")
+		jsonDir    = flag.String("json", "", "write BENCH_<exp>.json with timings and per-operator breakdowns into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
+
 	cfg := harness.Config{
-		Timeout:  *timeout,
-		RSTScale: *scale,
-		Repeat:   *repeat,
+		Timeout:     *timeout,
+		RSTScale:    *scale,
+		Repeat:      *repeat,
+		OpBreakdown: *jsonDir != "",
 	}
 	var workerList []int
 	for _, s := range splitList(*workers) {
@@ -89,13 +128,16 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}
-		if *asJSON {
+		if *jsonDir != "" {
 			out, err := tab.JSON()
 			if err != nil {
 				fatalf("%s: %v", id, err)
 			}
-			fmt.Println(string(out))
-			continue
+			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", id))
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		fmt.Println(tab.Format())
 		if id == "workers" && len(tab.Params) > 1 {

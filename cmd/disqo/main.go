@@ -9,10 +9,16 @@
 //
 // Inside the REPL:
 //
-//	\explain SELECT ...   show canonical + optimized plans and rewrites
-//	\strategy s2          switch strategy
-//	\tables               list tables
-//	\q                    quit
+//	\explain SELECT ...           show canonical + optimized plans and rewrites
+//	\explain analyze SELECT ...   execute and annotate the physical plan
+//	\analyze SELECT ...           same as \explain analyze
+//	\stats                        show the last query's execution counters
+//	\strategy s2                  switch strategy
+//	\tables                       list tables
+//	\q                            quit
+//
+// With -trace spans.jsonl every query streams per-operator
+// open/morsel/close events as JSON lines to the file.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 		execSQL  = flag.String("e", "", "execute one statement and exit")
 		explain  = flag.Bool("explain", false, "with -e: explain instead of executing")
 		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
+		traceOut = flag.String("trace", "", "stream per-operator spans as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +67,14 @@ func main() {
 	}
 
 	sess := &session{db: db, strategy: disqo.Strategy(*strategy), timeout: *timeout}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sess.tracer = newJSONLTracer(f)
+	}
 	if *execSQL != "" {
 		if *explain {
 			sess.explain(*execSQL)
@@ -75,12 +90,18 @@ type session struct {
 	db       *disqo.DB
 	strategy disqo.Strategy
 	timeout  time.Duration
+	tracer   *jsonlTracer
+	// last is the most recent successful query result, for \stats.
+	last *disqo.Result
 }
 
 func (s *session) options() []disqo.Option {
 	opts := []disqo.Option{disqo.WithStrategy(s.strategy)}
 	if s.timeout > 0 {
 		opts = append(opts, disqo.WithTimeout(s.timeout))
+	}
+	if s.tracer != nil {
+		opts = append(opts, disqo.WithTracer(s.tracer))
 	}
 	return opts
 }
@@ -100,6 +121,7 @@ func (s *session) run(sql string) {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
+	s.last = res
 	fmt.Print(res.String())
 	fmt.Printf("elapsed: %s  comparisons: %d  subquery evals: %d\n",
 		res.Elapsed.Round(time.Microsecond), res.Stats.Comparisons, res.Stats.SubqueryEvals)
@@ -124,6 +146,23 @@ func (s *session) analyze(sql string) {
 		return
 	}
 	fmt.Print(out)
+}
+
+// stats prints the execution counters of the last successful query.
+func (s *session) stats() {
+	if s.last == nil {
+		fmt.Println("no query executed yet")
+		return
+	}
+	st := s.last.Stats
+	fmt.Printf("elapsed:        %s\n", s.last.Elapsed.Round(time.Microsecond))
+	fmt.Printf("comparisons:    %d\n", st.Comparisons)
+	fmt.Printf("tuples out:     %d\n", st.TuplesOut)
+	fmt.Printf("peak resident:  %d tuples\n", st.PeakTuples)
+	fmt.Printf("subquery evals: %d\n", st.SubqueryEvals)
+	fmt.Printf("operator evals: %d\n", st.OpEvals)
+	fmt.Printf("hash joins:     %d   nl joins: %d   sorted groups: %d\n",
+		st.HashJoins, st.NLJoins, st.SortedGroups)
 }
 
 func (s *session) repl() {
@@ -178,11 +217,20 @@ func (s *session) command(line string) bool {
 		s.strategy = disqo.Strategy(fields[1])
 		fmt.Printf("strategy set to %s\n", s.strategy)
 	case "\\explain":
-		s.explain(strings.TrimPrefix(line, "\\explain "))
+		rest := strings.TrimPrefix(line, "\\explain ")
+		// `\explain analyze <sql>` is EXPLAIN ANALYZE: execute and
+		// annotate the physical plan with actual counters.
+		if len(fields) > 1 && strings.EqualFold(fields[1], "analyze") {
+			s.analyze(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[1])))
+			break
+		}
+		s.explain(rest)
 	case "\\analyze":
 		s.analyze(strings.TrimPrefix(line, "\\analyze "))
+	case "\\stats":
+		s.stats()
 	case "\\help":
-		fmt.Println("\\explain <sql>   show plans and rewrites\n\\analyze <sql>   execute and show per-operator row counts\n\\strategy <s>    switch strategy\n\\tables          list tables\n\\q               quit")
+		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
 	default:
 		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
 	}

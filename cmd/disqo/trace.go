@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"disqo/internal/physical"
+)
+
+// jsonlTracer streams operator spans as JSON lines, one object per
+// open/morsel/close event, timestamped in microseconds since the trace
+// started. A mutex serializes writes — morsel workers emit events
+// concurrently.
+type jsonlTracer struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+}
+
+func newJSONLTracer(w io.Writer) *jsonlTracer {
+	return &jsonlTracer{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+func (t *jsonlTracer) emit(v any) {
+	t.mu.Lock()
+	t.enc.Encode(v) //nolint:errcheck // tracing is best-effort
+	t.mu.Unlock()
+}
+
+func (t *jsonlTracer) us() int64 { return time.Since(t.start).Microseconds() }
+
+func (t *jsonlTracer) OpOpen(n physical.Node) {
+	t.emit(struct {
+		Us int64  `json:"us"`
+		Ev string `json:"ev"`
+		ID int    `json:"id"`
+		Op string `json:"op"`
+	}{t.us(), "open", n.ID(), n.Label()})
+}
+
+func (t *jsonlTracer) OpMorsel(n physical.Node, lo, hi int) {
+	t.emit(struct {
+		Us int64  `json:"us"`
+		Ev string `json:"ev"`
+		ID int    `json:"id"`
+		Lo int    `json:"lo"`
+		Hi int    `json:"hi"`
+	}{t.us(), "morsel", n.ID(), lo, hi})
+}
+
+func (t *jsonlTracer) OpClose(n physical.Node, rows int64, d time.Duration) {
+	t.emit(struct {
+		Us   int64  `json:"us"`
+		Ev   string `json:"ev"`
+		ID   int    `json:"id"`
+		Rows int64  `json:"rows"`
+		Ns   int64  `json:"ns"`
+	}{t.us(), "close", n.ID(), rows, d.Nanoseconds()})
+}

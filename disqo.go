@@ -192,6 +192,8 @@ type queryConfig struct {
 	timeout   time.Duration
 	maxTuples int64
 	workers   int
+	metrics   bool
+	tracer    Tracer
 }
 
 // Option configures a single Query or Explain call.
@@ -224,6 +226,21 @@ func WithWorkers(n int) Option {
 	return func(c *queryConfig) { c.workers = n }
 }
 
+// WithMetrics enables per-operator runtime metrics collection for the
+// call; the report is available from Result.Metrics. Off by default —
+// collection adds per-operator bookkeeping to execution. Analyze
+// enables it implicitly.
+func WithMetrics() Option {
+	return func(c *queryConfig) { c.metrics = true }
+}
+
+// WithTracer streams operator open/morsel/close spans to t during
+// execution (default: none). The tracer must be safe for concurrent
+// use; morsel workers emit events in parallel.
+func WithTracer(t Tracer) Option {
+	return func(c *queryConfig) { c.tracer = t }
+}
+
 // ErrTimeout is returned when a query exceeds its WithTimeout deadline.
 var ErrTimeout = exec.ErrTimeout
 
@@ -243,7 +260,13 @@ type Result struct {
 	// Elapsed is the wall-clock execution time (excluding parse and
 	// optimization).
 	Elapsed time.Duration
+	// metrics is the per-operator report, set when WithMetrics was on.
+	metrics *PlanMetrics
 }
+
+// Metrics returns the per-operator runtime report, or nil unless the
+// query ran with WithMetrics.
+func (r *Result) Metrics() *PlanMetrics { return r.metrics }
 
 // String renders the result as an aligned text table.
 func (r *Result) String() string {
@@ -370,7 +393,14 @@ func (db *DB) planCostBased(canonical algebra.Op) (algebra.Op, []string, error) 
 
 // execOptions maps a strategy to executor options.
 func execOptions(cfg queryConfig) exec.Options {
-	opt := exec.Options{Cache: exec.CacheAll, Timeout: cfg.timeout, MaxTuples: cfg.maxTuples, Workers: cfg.workers}
+	opt := exec.Options{
+		Cache:     exec.CacheAll,
+		Timeout:   cfg.timeout,
+		MaxTuples: cfg.maxTuples,
+		Workers:   cfg.workers,
+		Metrics:   cfg.metrics,
+		Tracer:    cfg.tracer,
+	}
 	switch cfg.strategy {
 	case S1:
 		opt.Cache = exec.CacheNone
@@ -632,19 +662,38 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 		Rewrites: trace,
 		Elapsed:  time.Since(start),
 	}
+	if cfg.metrics {
+		if root, err := ex.Plan(plan); err == nil {
+			res.metrics = newPlanMetrics(root, subplanNodes(ex, plan), ex.NodeMetrics())
+		}
+	}
 	return res, nil
 }
 
-// Analyze executes the statement and returns the executed plan annotated
-// with actual row counts and evaluation counts per operator (EXPLAIN
-// ANALYZE). A "×N" marker shows operators evaluated more than once —
-// the per-outer-tuple re-evaluation that canonical nested plans pay and
-// unnested plans avoid.
+// subplanNodes resolves the physical plans of the subqueries the
+// executor evaluated from operator expressions.
+func subplanNodes(ex *exec.Executor, plan algebra.Op) []physical.Node {
+	var subs []physical.Node
+	for _, sp := range collectSubplans(plan) {
+		if n, ok := ex.NodeFor(sp); ok {
+			subs = append(subs, n)
+		}
+	}
+	return subs
+}
+
+// Analyze executes the statement and returns the executed physical plan
+// annotated per operator with estimated vs. actual cardinality, call
+// counts, memo hits, and evaluation time (EXPLAIN ANALYZE). calls>1
+// shows the per-outer-tuple re-evaluation that canonical nested plans
+// pay and unnested plans avoid; every printed counter except time= is
+// byte-identical for any worker count.
 func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	cfg := queryConfig{strategy: Unnested}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.metrics = true
 	plan, trace, err := db.plan(sql, cfg)
 	if err != nil {
 		return "", err
@@ -656,22 +705,30 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 		return "", err
 	}
 	elapsed := time.Since(start)
+	root, err := ex.Plan(plan)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s   rows: %d   elapsed: %s\n",
 		cfg.strategy, rel.Cardinality(), elapsed.Round(time.Microsecond))
 	st := ex.Stats()
-	fmt.Fprintf(&b, "comparisons: %d   tuples: %d   subquery evals: %d\n\n",
-		st.Comparisons, st.TuplesOut, st.SubqueryEvals)
-	b.WriteString(algebra.ExplainAnnotated(plan, func(op algebra.Op) string {
-		rows, calls := ex.OpStats(op)
-		if calls == 0 {
-			return "(not evaluated)"
+	fmt.Fprintf(&b, "comparisons: %d   tuples: %d   subquery evals: %d   peak resident: %d\n\n",
+		st.Comparisons, st.TuplesOut, st.SubqueryEvals, st.PeakTuples)
+	annot := analyzeAnnot(ex.NodeMetrics())
+	b.WriteString("== physical plan (analyzed) ==\n")
+	b.WriteString(physical.ExplainAnnotated(root, annot))
+	// Nested plans keep subqueries inside operator expressions; their
+	// physical plans execute once per outer binding, so calls>1 here is
+	// exactly the repetition unnesting removes.
+	for i, sp := range collectSubplans(plan) {
+		n, ok := ex.NodeFor(sp)
+		if !ok {
+			continue
 		}
-		if calls > 1 {
-			return fmt.Sprintf("(rows=%d ×%d)", rows, calls)
-		}
-		return fmt.Sprintf("(rows=%d)", rows)
-	}))
+		fmt.Fprintf(&b, "\n-- subquery plan %d (evaluated per outer binding) --\n", i+1)
+		b.WriteString(physical.ExplainAnnotated(n, annot))
+	}
 	if len(trace) > 0 {
 		b.WriteString("\nrewrites:\n")
 		for _, tr := range trace {

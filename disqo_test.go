@@ -2,6 +2,7 @@ package disqo
 
 import (
 	"errors"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -175,22 +176,122 @@ func TestAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"rows=", "strategy: unnested", "comparisons:", "σ±"} {
+	for _, frag := range []string{
+		"physical plan (analyzed)", "strategy: unnested", "comparisons:",
+		"peak resident:", "actual", "est", "calls=1", "time=", "Filter±",
+	} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("Analyze missing %q:\n%s", frag, out)
 		}
 	}
-	if strings.Contains(out, "×") {
+	if regexp.MustCompile(`calls=([2-9]|\d\d)`).MatchString(out) {
 		t.Errorf("unnested plan must evaluate each operator once:\n%s", out)
 	}
 	// Canonical: the nested block is evaluated per outer tuple, visible
-	// in the subquery-evals counter.
+	// in the subquery-evals counter and in calls>1 annotations.
 	out, err = db.Analyze(q1SQL, WithStrategy(Canonical))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out, "subquery evals: 0") {
 		t.Errorf("canonical analyze must show nested evaluations:\n%s", out)
+	}
+	if !regexp.MustCompile(`calls=([2-9]|\d\d)`).MatchString(out) {
+		t.Errorf("canonical analyze must show repeated evaluations:\n%s", out)
+	}
+}
+
+// maskTimes blanks the two wall-clock fields of an Analyze report;
+// everything else — est/actual rows, calls, memo hits, morsels, build
+// sizes, the Stats header — must be byte-identical across worker counts.
+func maskTimes(s string) string {
+	s = regexp.MustCompile(`elapsed: \S+`).ReplaceAllString(s, "elapsed: <t>")
+	return regexp.MustCompile(`time=[^,)]+`).ReplaceAllString(s, "time=<t>")
+}
+
+func TestAnalyzeWorkerCountIndependent(t *testing.T) {
+	db := Open()
+	// 3000-row tables cross the 2×1024-tuple parallel threshold, so
+	// Workers=4 genuinely fans out.
+	if err := db.LoadRST(0.3, 0.3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Unnested, Canonical} {
+		w1, err := db.Analyze(q1SQL, WithStrategy(strat), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", strat, err)
+		}
+		w4, err := db.Analyze(q1SQL, WithStrategy(strat), WithWorkers(4))
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", strat, err)
+		}
+		if m1, m4 := maskTimes(w1), maskTimes(w4); m1 != m4 {
+			t.Errorf("%s: EXPLAIN ANALYZE depends on worker count:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+				strat, m1, m4)
+		}
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	db := smallDB(t)
+	res, err := db.Query(q1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics() != nil {
+		t.Error("Metrics present without WithMetrics")
+	}
+	res, err = db.Query(q1SQL, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := res.Metrics()
+	if pm == nil {
+		t.Fatal("WithMetrics query returned no Metrics")
+	}
+	root := pm.Op(pm.Root)
+	if root == nil {
+		t.Fatalf("report has no entry for root ID %d", pm.Root)
+	}
+	if root.RowsOut != int64(len(res.Rows)) {
+		t.Errorf("root RowsOut = %d, want %d", root.RowsOut, len(res.Rows))
+	}
+	if root.Calls != 1 {
+		t.Errorf("root Calls = %d, want 1", root.Calls)
+	}
+	if pm.TotalWall() <= 0 {
+		t.Error("root wall time not recorded")
+	}
+	ids := map[int]bool{}
+	for _, op := range pm.Ops {
+		if ids[op.ID] {
+			t.Errorf("node #%d reported twice", op.ID)
+		}
+		ids[op.ID] = true
+		for _, c := range op.Children {
+			if !ids[c] {
+				// Children may appear later in pre-order only when shared;
+				// they must at least exist somewhere in the report.
+				if pm.Op(c) == nil {
+					t.Errorf("node #%d references missing child #%d", op.ID, c)
+				}
+			}
+		}
+	}
+	// Canonical keeps the subquery as a separate plan evaluated per
+	// outer tuple: its report must include ops with Calls > 1.
+	res, err = db.Query(q1SQL, WithMetrics(), WithStrategy(Canonical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeated := false
+	for _, op := range res.Metrics().Ops {
+		if op.Calls > 1 {
+			repeated = true
+		}
+	}
+	if !repeated {
+		t.Error("canonical metrics show no per-outer-tuple re-evaluation")
 	}
 }
 

@@ -68,6 +68,13 @@ type Options struct {
 	// GOMAXPROCS. Hot operators split inputs of at least two morsels
 	// (2×1024 tuples) across the pool; 1 disables parallelism.
 	Workers int
+	// Metrics enables per-operator runtime counters (NodeMetrics),
+	// read back through Executor.NodeMetrics after Run. Off by default:
+	// the disabled path adds no allocations to the hot loops.
+	Metrics bool
+	// Tracer receives operator open/morsel/close events; nil disables
+	// tracing at zero cost.
+	Tracer Tracer
 }
 
 // Stats counts work done by one execution, letting tests and benchmarks
@@ -82,9 +89,22 @@ type Stats struct {
 	NLJoins       int64 // joins executed by nested loops
 	SortedGroups  int64 // binary groupings executed sort-based
 	OpEvals       int64 // operator evaluations (after memoization)
+
+	// PeakTuples is the high-water mark of simultaneously resident
+	// tuples (memoized results plus the largest in-flight operator
+	// output observed by the budget check) — the quantity
+	// Options.MaxTuples limits, made observable. It is a gauge: merge
+	// takes the max, not the sum.
+	PeakTuples int64
+	// Elapsed is the cumulative wall time spent inside Run — the
+	// quantity Options.Timeout limits, made observable. Gauge: merge
+	// takes the max (worker shards never set it).
+	Elapsed time.Duration
 }
 
-// merge folds a worker shard into the parent's counters.
+// merge folds a worker shard into the parent's counters. Monotone
+// counters sum; gauges (PeakTuples, Elapsed) take the max — summing a
+// high-water mark across shards would overstate it.
 func (s *Stats) merge(o *Stats) {
 	s.Comparisons += o.Comparisons
 	s.TuplesOut += o.TuplesOut
@@ -93,6 +113,12 @@ func (s *Stats) merge(o *Stats) {
 	s.NLJoins += o.NLJoins
 	s.SortedGroups += o.SortedGroups
 	s.OpEvals += o.OpEvals
+	if o.PeakTuples > s.PeakTuples {
+		s.PeakTuples = o.PeakTuples
+	}
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
 }
 
 // Executor evaluates plans against a catalog. One Executor owns one
@@ -106,25 +132,56 @@ type Executor struct {
 	planner *physical.Planner
 	sh      *sharedState
 
+	// nm is this executor's per-operator metrics shard, indexed by
+	// physical node ID; nil unless Options.Metrics is set. Worker clones
+	// get private shards merged back by parMorsels.
+	nm []NodeMetrics
+	// cur is the node currently being evaluated, tracked only while
+	// metrics or tracing are on; morsel and hash-build events are
+	// attributed to it.
+	cur physical.Node
+
 	deadline time.Time
 	ticks    int
 	isWorker bool // worker clones never fan out again (no nested pools)
 }
 
-// sharedState is the cross-worker state: the DAG/subquery memo, the
-// per-operator row accounting EXPLAIN ANALYZE reads, and the abort
-// latch that propagates cancellation (timeout, budget, eval errors) to
-// every worker.
+// sharedState is the cross-worker state: the DAG/subquery memo (with a
+// single-flight table deduplicating concurrent first evaluations) and
+// the abort latch that propagates cancellation (timeout, budget, eval
+// errors) to every worker.
 type sharedState struct {
 	mu         sync.Mutex
 	memo       map[memoKey]*storage.Relation
 	correlated map[algebra.Op]bool
-	opRows     map[algebra.Op]int64 // per-operator output rows (last eval)
-	opCalls    map[algebra.Op]int64 // per-operator evaluation count
+
+	// flight marks cacheable evaluations in progress: the first arrival
+	// evaluates, later arrivals wait on flightDone and re-check the
+	// memo. Plan dependencies are acyclic, so waiting cannot deadlock,
+	// and a set + cond (vs. a per-flight channel) keeps the memoized
+	// path allocation-free.
+	flight     map[memoKey]bool
+	flightDone *sync.Cond // signaled under mu whenever a flight ends
 
 	resident atomic.Int64 // tuples pinned by the memo
+	peak     atomic.Int64 // high-water mark of resident (+ in-flight) tuples
 	aborted  atomic.Bool  // latch polled by every worker's tick
 	abortErr error        // first fatal error; guarded by mu
+}
+
+// pin accounts tuples added to the memo and raises the high-water mark.
+func (sh *sharedState) pin(n int64) {
+	r := sh.resident.Add(n)
+	sh.raisePeak(r)
+}
+
+func (sh *sharedState) raisePeak(r int64) {
+	for {
+		p := sh.peak.Load()
+		if r <= p || sh.peak.CompareAndSwap(p, r) {
+			return
+		}
+	}
 }
 
 type memoKey struct {
@@ -138,35 +195,37 @@ func New(cat *catalog.Catalog, opt Options) *Executor {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	sh := &sharedState{
+		memo:       make(map[memoKey]*storage.Relation),
+		flight:     make(map[memoKey]bool),
+		correlated: make(map[algebra.Op]bool),
+	}
+	sh.flightDone = sync.NewCond(&sh.mu)
 	return &Executor{
 		cat:     cat,
 		opt:     opt,
 		planner: physical.NewPlanner(stats.New(cat)),
-		sh: &sharedState{
-			memo:       make(map[memoKey]*storage.Relation),
-			correlated: make(map[algebra.Op]bool),
-			opRows:     make(map[algebra.Op]int64),
-			opCalls:    make(map[algebra.Op]int64),
-		},
+		sh:      sh,
 	}
 }
 
 // Stats returns the work counters accumulated so far.
 func (ex *Executor) Stats() Stats { return ex.stats }
 
-// OpStats reports one operator's last output cardinality and how many
-// times it was evaluated (canonical nested-loop plans evaluate correlated
-// subplans once per outer tuple).
-func (ex *Executor) OpStats(op algebra.Op) (rows, calls int64) {
-	ex.sh.mu.Lock()
-	defer ex.sh.mu.Unlock()
-	return ex.sh.opRows[op], ex.sh.opCalls[op]
-}
-
 // Plan lowers a logical plan through the executor's physical planner
 // without running it — the physical tree Run would evaluate.
 func (ex *Executor) Plan(plan algebra.Op) (physical.Node, error) {
 	return ex.physFor(plan)
+}
+
+// NodeFor returns the lowered physical node for a logical operator, if
+// the planner has seen it. After Run or Plan, every operator of the
+// plan — including subquery blocks embedded in expressions — resolves,
+// which is how EXPLAIN ANALYZE locates subquery plans to annotate.
+func (ex *Executor) NodeFor(op algebra.Op) (physical.Node, bool) {
+	ex.sh.mu.Lock()
+	defer ex.sh.mu.Unlock()
+	return ex.planner.NodeFor(op)
 }
 
 // Run evaluates a plan top-level (no outer bindings).
@@ -175,13 +234,25 @@ func (ex *Executor) Run(plan algebra.Op) (*storage.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	if ex.opt.Timeout > 0 {
-		ex.deadline = time.Now().Add(ex.opt.Timeout)
+		ex.deadline = start.Add(ex.opt.Timeout)
 	} else {
 		ex.deadline = time.Time{}
 	}
+	if ex.opt.Metrics && ex.nm == nil {
+		// The planner pre-lowered every reachable subplan, so NodeCount
+		// sizes the shard for (almost) all IDs; metric() grows it for
+		// the stray late-lowered node.
+		ex.nm = make([]NodeMetrics, ex.planner.NodeCount())
+	}
 	ex.sh.clearAbort()
-	return ex.eval(root, nil)
+	rel, err := ex.eval(root, nil)
+	ex.stats.Elapsed += time.Since(start)
+	if p := ex.sh.peak.Load(); p > ex.stats.PeakTuples {
+		ex.stats.PeakTuples = p
+	}
+	return rel, err
 }
 
 // physFor resolves (or lowers on demand) the physical node for a
@@ -249,10 +320,15 @@ func (sh *sharedState) clearAbort() {
 
 // checkBudget enforces the tuple budget against rows pending inside a
 // long-running operator, so a single quadratic join cannot exhaust
-// memory before returning.
+// memory before returning. The observed total also feeds the
+// Stats.PeakTuples high-water mark, so the limit is auditable.
 func (ex *Executor) checkBudget(pending int) error {
-	if ex.opt.MaxTuples > 0 && ex.sh.resident.Load()+int64(pending) > ex.opt.MaxTuples {
-		return ex.fail(ErrMemoryLimit)
+	if ex.opt.MaxTuples > 0 {
+		total := ex.sh.resident.Load() + int64(pending)
+		ex.sh.raisePeak(total)
+		if total > ex.opt.MaxTuples {
+			return ex.fail(ErrMemoryLimit)
+		}
 	}
 	return nil
 }
@@ -291,8 +367,26 @@ func (ex *Executor) cacheable(n physical.Node, env *Env) bool {
 	}
 }
 
-// eval evaluates one node with memoization.
+// eval evaluates one node with memoization and, when enabled, per-node
+// metrics: the input cardinality is credited to the consuming operator
+// (ex.cur) on every return path, memo hit or not.
 func (ex *Executor) eval(n physical.Node, env *Env) (*storage.Relation, error) {
+	rel, err := ex.evalMemo(n, env)
+	if err != nil {
+		return nil, err
+	}
+	if ex.nm != nil && ex.cur != nil && ex.cur != n {
+		ex.metric(ex.cur).RowsIn += int64(rel.Cardinality())
+	}
+	return rel, nil
+}
+
+// evalMemo evaluates one node with memoization. Concurrent first
+// evaluations of one cacheable node (workers racing on an uncorrelated
+// subplan) are deduplicated through a single-flight table: the first
+// arrival evaluates, the rest wait and share — so the work done and the
+// per-node counters are worker-count independent.
+func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, error) {
 	if err := ex.tick(); err != nil {
 		return nil, err
 	}
@@ -302,46 +396,84 @@ func (ex *Executor) eval(n physical.Node, env *Env) (*storage.Relation, error) {
 		// distinct Stream nodes over one bypass operator share results.
 		key = memoKey{n: s.Source, pos: s.Positive, side: 1}
 	}
-	logical := n.Logical()
 	cacheable := ex.cacheable(n, env)
+	owns := false
 	if cacheable {
 		ex.sh.mu.Lock()
-		if rel, ok := ex.sh.memo[key]; ok {
-			// Credit one evaluation to nodes whose result arrived through
-			// a shared bypass evaluation, so EXPLAIN ANALYZE has a row
-			// count for them.
-			if ex.sh.opCalls[logical] == 0 {
-				ex.sh.opRows[logical] = int64(rel.Cardinality())
-				ex.sh.opCalls[logical] = 1
+		for {
+			if rel, ok := ex.sh.memo[key]; ok {
+				ex.sh.mu.Unlock()
+				if ex.nm != nil {
+					ex.metric(n).MemoHits++
+				}
+				return rel, nil
 			}
-			ex.sh.mu.Unlock()
-			return rel, nil
+			if !ex.sh.flight[key] {
+				break
+			}
+			// Another worker is evaluating this key; wait and re-check.
+			// If that evaluation fails without latching the abort, the
+			// loop exits with the flight cleared and this worker
+			// re-evaluates, hitting the same error itself.
+			ex.sh.flightDone.Wait()
 		}
+		ex.sh.flight[key] = true
+		owns = true
 		ex.sh.mu.Unlock()
+	}
+
+	instrumented := ex.nm != nil || ex.opt.Tracer != nil
+	var t0 time.Time
+	var parent physical.Node
+	if instrumented {
+		parent = ex.cur
+		ex.cur = n
+		if ex.opt.Tracer != nil {
+			ex.opt.Tracer.OpOpen(n)
+		}
+		t0 = time.Now()
 	}
 	rel, err := ex.evalNode(n, env)
+	if instrumented {
+		ex.cur = parent
+		d := time.Since(t0)
+		var rows int64
+		if err == nil {
+			rows = int64(rel.Cardinality())
+		}
+		if ex.nm != nil && err == nil {
+			m := ex.metric(n)
+			m.Calls++
+			m.RowsOut += rows
+			m.WallNanos += int64(d)
+		}
+		if ex.opt.Tracer != nil {
+			ex.opt.Tracer.OpClose(n, rows, d)
+		}
+	}
+	if err == nil {
+		ex.stats.OpEvals++
+		ex.stats.TuplesOut += int64(rel.Cardinality())
+		err = ex.checkBudget(rel.Cardinality())
+	}
+	if owns {
+		ex.sh.mu.Lock()
+		if err == nil {
+			if cached, dup := ex.sh.memo[key]; dup {
+				// evalStream pre-stored this bypass side; converge on
+				// the stored instance rather than pinning twice.
+				rel = cached
+			} else {
+				ex.sh.memo[key] = rel
+				ex.sh.pin(int64(rel.Cardinality()))
+			}
+		}
+		delete(ex.sh.flight, key)
+		ex.sh.flightDone.Broadcast()
+		ex.sh.mu.Unlock()
+	}
 	if err != nil {
 		return nil, err
-	}
-	ex.stats.OpEvals++
-	ex.stats.TuplesOut += int64(rel.Cardinality())
-	ex.sh.mu.Lock()
-	ex.sh.opRows[logical] = int64(rel.Cardinality())
-	ex.sh.opCalls[logical]++
-	ex.sh.mu.Unlock()
-	if err := ex.checkBudget(rel.Cardinality()); err != nil {
-		return nil, err
-	}
-	if cacheable {
-		ex.sh.mu.Lock()
-		if cached, dup := ex.sh.memo[key]; dup {
-			// Another worker stored it first; converge on one instance.
-			rel = cached
-		} else {
-			ex.sh.memo[key] = rel
-			ex.sh.resident.Add(int64(rel.Cardinality()))
-		}
-		ex.sh.mu.Unlock()
 	}
 	return rel, nil
 }
@@ -452,6 +584,10 @@ func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation,
 		if err != nil {
 			return nil, err
 		}
+		// The bypass node itself is only ever evaluated through its
+		// streams; credit the single σ± pass to it so EXPLAIN ANALYZE
+		// shows the partition sizes.
+		ex.creditSource(src, int64(pos.Cardinality()+neg.Cardinality()))
 		// Cache both sides if permitted; eval() caches the requested one.
 		if ex.cacheable(s, env) {
 			ex.sh.mu.Lock()
@@ -464,13 +600,32 @@ func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation,
 		}
 		return neg, nil
 	case *physical.BypassJoin:
+		var out *storage.Relation
+		var err error
 		if s.Positive {
-			return ex.evalBypassJoinPos(src, env)
+			out, err = ex.evalBypassJoinPos(src, env)
+		} else {
+			out, err = ex.evalBypassJoinNeg(src, s, env)
 		}
-		return ex.evalBypassJoinNeg(src, s, env)
+		if err != nil {
+			return nil, err
+		}
+		ex.creditSource(src, int64(out.Cardinality()))
+		return out, nil
 	default:
 		return nil, fmt.Errorf("exec: Stream over non-bypass operator %T", s.Source)
 	}
+}
+
+// creditSource records one evaluation on a bypass operator reached only
+// through its Stream nodes (no-op when metrics are off).
+func (ex *Executor) creditSource(n physical.Node, rows int64) {
+	if ex.nm == nil {
+		return
+	}
+	m := ex.metric(n)
+	m.Calls++
+	m.RowsOut += rows
 }
 
 // storeIfAbsent memoizes a relation unless the key is already present;
@@ -478,7 +633,7 @@ func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation,
 func (sh *sharedState) storeIfAbsent(key memoKey, rel *storage.Relation) {
 	if _, ok := sh.memo[key]; !ok {
 		sh.memo[key] = rel
-		sh.resident.Add(int64(rel.Cardinality()))
+		sh.pin(int64(rel.Cardinality()))
 	}
 }
 

@@ -21,6 +21,7 @@ type hashTable struct {
 // bucket lists candidates in ascending tuple order regardless of the
 // worker count (probe output order depends on it).
 func (ex *Executor) buildHashTable(rel *storage.Relation, keyCols []int) (*hashTable, error) {
+	ex.creditHashBuild(len(rel.Tuples))
 	type hashed struct {
 		h  uint64
 		ok bool

@@ -34,13 +34,16 @@ func (ex *Executor) fanout(n int) int {
 }
 
 // workerClone returns an executor sharing this one's planner, memo, and
-// abort latch but with a private Stats shard (merged by parMorsels) and
-// tick counter.
+// abort latch but with private Stats and NodeMetrics shards (merged by
+// parMorsels) and tick counter.
 func (ex *Executor) workerClone() *Executor {
 	w := *ex
 	w.stats = Stats{}
 	w.ticks = 0
 	w.isWorker = true
+	if ex.nm != nil {
+		w.nm = make([]NodeMetrics, len(ex.nm))
+	}
 	return &w
 }
 
@@ -54,8 +57,15 @@ func (ex *Executor) workerClone() *Executor {
 // error (by morsel index) wins, and the abort latch makes the remaining
 // workers drain quickly.
 func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor, lo, hi int) (T, error)) ([]T, error) {
+	if ex.nm != nil && ex.cur != nil && n > 0 {
+		// Morsel accounting is derived from the input size alone, never
+		// from the actual chunking, so the counter is identical for
+		// Workers=1 and Workers=N.
+		ex.metric(ex.cur).Morsels += int64((n + morselSize - 1) / morselSize)
+	}
 	if ex.fanout(n) <= 1 {
 		if !forceChunks || n <= morselSize {
+			ex.traceMorsel(0, n)
 			res, err := f(ex, 0, n)
 			if err != nil {
 				return nil, err
@@ -68,6 +78,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 			if hi > n {
 				hi = n
 			}
+			ex.traceMorsel(lo, hi)
 			res, err := f(ex, lo, hi)
 			if err != nil {
 				return nil, err
@@ -102,6 +113,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 				if hi > n {
 					hi = n
 				}
+				w.traceMorsel(lo, hi)
 				res, err := f(w, lo, hi)
 				if err != nil {
 					errs[m] = err
@@ -115,6 +127,9 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 	wg.Wait()
 	for _, w := range clones {
 		ex.stats.merge(&w.stats)
+		if ex.nm != nil {
+			ex.mergeNodeMetrics(w.nm)
+		}
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -72,6 +72,10 @@ type Config struct {
 	// Workers is the morsel-parallel pool size passed to every query;
 	// zero uses the engine default (GOMAXPROCS).
 	Workers int
+	// OpBreakdown re-runs each finished cell once with metrics enabled
+	// and attaches a per-operator breakdown (Cell.Ops). The extra run is
+	// separate so instrumentation never pollutes the timed measurements.
+	OpBreakdown bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +104,19 @@ type Cell struct {
 	TimedOut bool
 	OverMem  bool
 	Err      error
+	// Ops is the per-operator breakdown from a separate metrics-enabled
+	// run; set only under Config.OpBreakdown.
+	Ops []OpBreakdown
+}
+
+// OpBreakdown is one physical operator's share of a cell's work.
+type OpBreakdown struct {
+	ID      int     `json:"id"`
+	Op      string  `json:"op"`
+	EstRows float64 `json:"est_rows"`
+	Rows    int64   `json:"rows"`
+	Calls   int64   `json:"calls"`
+	Seconds float64 `json:"seconds"`
 }
 
 // Table is one experiment's output grid: strategies × parameter points.
@@ -148,13 +165,14 @@ func contains(ss []string, s string) bool {
 // title, and one object per (system, parameter) cell.
 func (t *Table) JSON() ([]byte, error) {
 	type cellJSON struct {
-		System   string  `json:"system"`
-		Param    string  `json:"param"`
-		Seconds  float64 `json:"seconds,omitempty"`
-		Rows     int     `json:"rows"`
-		TimedOut bool    `json:"timed_out,omitempty"`
-		OverMem  bool    `json:"over_memory,omitempty"`
-		Error    string  `json:"error,omitempty"`
+		System   string        `json:"system"`
+		Param    string        `json:"param"`
+		Seconds  float64       `json:"seconds,omitempty"`
+		Rows     int           `json:"rows"`
+		TimedOut bool          `json:"timed_out,omitempty"`
+		OverMem  bool          `json:"over_memory,omitempty"`
+		Error    string        `json:"error,omitempty"`
+		Ops      []OpBreakdown `json:"ops,omitempty"`
 	}
 	doc := struct {
 		ID    string     `json:"experiment"`
@@ -168,7 +186,7 @@ func (t *Table) JSON() ([]byte, error) {
 				continue
 			}
 			cj := cellJSON{System: string(s), Param: p, Seconds: c.Seconds,
-				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem}
+				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem, Ops: c.Ops}
 			if c.Err != nil {
 				cj.Error = c.Err.Error()
 			}
@@ -249,7 +267,34 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 			best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
 		}
 	}
+	if cfg.OpBreakdown {
+		best.Ops = opBreakdown(db, sql, s, cfg)
+	}
 	return best
+}
+
+// opBreakdown runs the query once more with metrics enabled and
+// flattens the per-operator report. Failures simply omit the breakdown;
+// the timed cell already recorded the outcome.
+func opBreakdown(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) []OpBreakdown {
+	opts := []disqo.Option{disqo.WithStrategy(s), disqo.WithTupleLimit(cfg.MaxTuples), disqo.WithMetrics()}
+	if cfg.Timeout > 0 {
+		opts = append(opts, disqo.WithTimeout(cfg.Timeout))
+	}
+	if cfg.Workers > 0 {
+		opts = append(opts, disqo.WithWorkers(cfg.Workers))
+	}
+	res, err := db.Query(sql, opts...)
+	if err != nil || res.Metrics() == nil {
+		return nil
+	}
+	pm := res.Metrics()
+	out := make([]OpBreakdown, 0, len(pm.Ops))
+	for _, op := range pm.Ops {
+		out = append(out, OpBreakdown{ID: op.ID, Op: op.Op, EstRows: op.EstRows,
+			Rows: op.RowsOut, Calls: op.Calls, Seconds: op.Wall.Seconds()})
+	}
+	return out
 }
 
 // rstPairs is the paper's SF1×SF2 grid.

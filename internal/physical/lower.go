@@ -35,14 +35,19 @@ import (
 // estimator supplies every node's cardinality annotation, which is what
 // makes each choice auditable in EXPLAIN.
 type Planner struct {
-	est  *stats.Estimator
-	memo map[algebra.Op]Node
+	est    *stats.Estimator
+	memo   map[algebra.Op]Node
+	nextID int
 }
 
 // NewPlanner returns a planner costing with the given estimator.
 func NewPlanner(est *stats.Estimator) *Planner {
 	return &Planner{est: est, memo: make(map[algebra.Op]Node)}
 }
+
+// NodeCount returns how many physical nodes this planner has created;
+// node IDs are dense in [0, NodeCount), so it sizes metric slices.
+func (p *Planner) NodeCount() int { return p.nextID }
 
 // NodeFor returns the already-lowered physical node for a logical
 // operator, if any. Subquery plans embedded in expressions are lowered
@@ -62,6 +67,8 @@ func (p *Planner) Lower(op algebra.Op) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.setID(p.nextID)
+	p.nextID++
 	p.memo[op] = n
 	// Pre-lower nested query blocks referenced by this operator's
 	// expressions (scalar/quantified subqueries and their arguments).

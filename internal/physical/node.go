@@ -34,17 +34,24 @@ type Node interface {
 	Label() string
 	// EstRows is the planner's estimated output cardinality.
 	EstRows() float64
+	// ID is the planner-assigned ordinal, dense in [0, Planner.NodeCount).
+	// The executor's runtime metrics are slices indexed by it.
+	ID() int
+	setID(int)
 }
 
 // base carries the fields every node shares.
 type base struct {
 	logical algebra.Op
 	est     float64
+	id      int
 }
 
 func (b *base) Logical() algebra.Op     { return b.logical }
 func (b *base) Schema() *storage.Schema { return b.logical.Schema() }
 func (b *base) EstRows() float64        { return b.est }
+func (b *base) ID() int                 { return b.id }
+func (b *base) setID(id int)            { b.id = id }
 
 // JoinMode selects what a join emits: matched pairs (inner), left
 // tuples with a match (semi), or left tuples without one (anti).

@@ -1,0 +1,105 @@
+package disqo_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"disqo"
+	"disqo/internal/testutil"
+)
+
+const cancelQ1 = `SELECT DISTINCT * FROM r
+                  WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+                     OR a4 > 1500`
+
+// TestCancellationStress cancels a long canonical query mid-flight 100
+// times: every run must return promptly (the context is polled at every
+// morsel boundary, so cancellation lands within one morsel's worth of
+// work), surface context.Canceled through a *QueryError, and leave no
+// goroutines behind. Run under -race in tier-1, this also shakes out
+// ordering bugs between the abort latch, the worker pool, and the
+// single-flight memo.
+func TestCancellationStress(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := disqo.Open()
+	// 3000-row relations: large enough that the canonical strategy's
+	// per-tuple subquery re-evaluation runs for seconds if never
+	// cancelled, and large enough to fan out across morsel workers.
+	if err := db.LoadRST(0.3, 0.3, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := db.QueryContext(ctx, cancelQ1,
+				disqo.WithStrategy(disqo.Canonical), disqo.WithWorkers(4))
+			done <- err
+		}()
+		// Stagger the cancel point across iterations, including an
+		// immediate cancel that races query startup.
+		time.Sleep(time.Duration(i%5) * time.Millisecond)
+		cancel()
+		start := time.Now()
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: query still running 10s after cancel", i)
+		}
+		// Generous bound for -race and a loaded CI box; without the
+		// morsel-boundary polling this is minutes, not milliseconds.
+		if wait := time.Since(start); wait > 2*time.Second {
+			t.Fatalf("iteration %d: cancellation took %s", i, wait)
+		}
+		if err == nil {
+			continue // the query finished before the cancel landed
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled in the chain", i, err)
+		}
+		var qe *disqo.QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("iteration %d: error %T does not unwrap to *disqo.QueryError", i, err)
+		}
+		if qe.Elapsed <= 0 {
+			t.Fatalf("iteration %d: QueryError carries no elapsed time", i)
+		}
+	}
+}
+
+// TestQueryContextPreCancelled covers the fast path: a context that is
+// already done must fail before any evaluation starts.
+func TestQueryContextPreCancelled(t *testing.T) {
+	db := disqo.Open()
+	if err := db.LoadRST(0.02, 0.02, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, cancelQ1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueryContextDeadline covers context.DeadlineExceeded as distinct
+// from the engine's own ErrTimeout.
+func TestQueryContextDeadline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := disqo.Open()
+	if err := db.LoadRST(0.3, 0.3, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := db.QueryContext(ctx, cancelQ1, disqo.WithStrategy(disqo.Canonical))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, disqo.ErrTimeout) {
+		t.Fatal("context deadline must not be conflated with disqo.ErrTimeout")
+	}
+}

@@ -23,9 +23,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -77,7 +79,15 @@ func main() {
 		}()
 	}
 
+	// Ctrl-C cancels the in-flight cell rather than killing the process:
+	// the cell is recorded as "abrt" (aborted, distinct from a timeout),
+	// any -json output already gathered is still written, and a second
+	// interrupt falls through to the default hard kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	cfg := harness.Config{
+		Ctx:         ctx,
 		Timeout:     *timeout,
 		RSTScale:    *scale,
 		Repeat:      *repeat,
@@ -115,6 +125,10 @@ func main() {
 	fmt.Printf("disqo benchmark harness — RST scale ×%g (paper SF1 = %d rows here), timeout %s\n\n",
 		*scale, int(10000**scale), *timeout)
 	for _, id := range splitList(*exps) {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; skipping remaining experiments\n")
+			break
+		}
 		var tab *harness.Table
 		var err error
 		if id == "workers" {

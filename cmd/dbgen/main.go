@@ -18,7 +18,6 @@ import (
 	"strings"
 
 	"disqo"
-	"disqo/internal/types"
 )
 
 func main() {
@@ -99,8 +98,7 @@ func csvCell(v disqo.Value) string {
 	if v.IsNull() {
 		return ""
 	}
-	if v.Kind() == types.KindString {
-		s := v.Str()
+	if s, ok := v.StrOk(); ok {
 		if strings.ContainsAny(s, ",\"\n") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}

@@ -23,9 +23,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -106,6 +109,22 @@ func (s *session) options() []disqo.Option {
 	return opts
 }
 
+// queryContext returns a context that a single Ctrl-C cancels, so an
+// interrupt aborts the running query instead of the shell. The stop
+// function restores default signal handling, making a second Ctrl-C
+// (or one at the prompt) kill the process as usual.
+func queryContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+func reportError(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "canceled")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "error: %v\n", err)
+}
+
 func (s *session) run(sql string) {
 	if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT") {
 		n, err := s.db.Exec(sql)
@@ -116,9 +135,11 @@ func (s *session) run(sql string) {
 		fmt.Printf("ok (%d rows affected)\n", n)
 		return
 	}
-	res, err := s.db.Query(sql, s.options()...)
+	ctx, stop := queryContext()
+	res, err := s.db.QueryContext(ctx, sql, s.options()...)
+	stop()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		reportError(err)
 		return
 	}
 	s.last = res
@@ -140,9 +161,11 @@ func (s *session) explain(sql string) {
 }
 
 func (s *session) analyze(sql string) {
-	out, err := s.db.Analyze(sql, s.options()...)
+	ctx, stop := queryContext()
+	out, err := s.db.Analyze(sql, append(s.options(), disqo.WithContext(ctx))...)
+	stop()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		reportError(err)
 		return
 	}
 	fmt.Print(out)

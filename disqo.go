@@ -27,6 +27,7 @@
 package disqo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"disqo/internal/catalog"
 	"disqo/internal/datagen"
 	"disqo/internal/exec"
+	"disqo/internal/faultinject"
 	"disqo/internal/physical"
 	"disqo/internal/rewrite"
 	"disqo/internal/sqlparser"
@@ -194,6 +196,8 @@ type queryConfig struct {
 	workers   int
 	metrics   bool
 	tracer    Tracer
+	ctx       context.Context
+	fault     *faultinject.Injector
 }
 
 // Option configures a single Query or Explain call.
@@ -239,6 +243,23 @@ func WithMetrics() Option {
 // use; morsel workers emit events in parallel.
 func WithTracer(t Tracer) Option {
 	return func(c *queryConfig) { c.tracer = t }
+}
+
+// WithContext attaches a cancellation context to the query: every
+// morsel worker polls it at morsel boundaries (and in the periodic
+// in-loop tick), so cancelling returns within roughly one morsel's
+// worth of work with ctx.Err() wrapped in a *QueryError.
+// db.QueryContext(ctx, sql) is shorthand for Query(sql,
+// WithContext(ctx)).
+func WithContext(ctx context.Context) Option {
+	return func(c *queryConfig) { c.ctx = ctx }
+}
+
+// withFaultInjector wires a deterministic fault injector
+// (internal/faultinject) into execution. Unexported on purpose: it is
+// the chaos-test hook, not public API.
+func withFaultInjector(fi *faultinject.Injector) Option {
+	return func(c *queryConfig) { c.fault = fi }
 }
 
 // ErrTimeout is returned when a query exceeds its WithTimeout deadline.
@@ -400,6 +421,8 @@ func execOptions(cfg queryConfig) exec.Options {
 		Workers:   cfg.workers,
 		Metrics:   cfg.metrics,
 		Tracer:    cfg.tracer,
+		Ctx:       cfg.ctx,
+		Fault:     cfg.fault,
 	}
 	switch cfg.strategy {
 	case S1:
@@ -639,7 +662,10 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 	return updated, nil
 }
 
-// Query parses, optimizes and executes a SQL statement.
+// Query parses, optimizes and executes a SQL statement. Execution
+// failures — timeout, tuple budget, cancellation, a recovered panic —
+// are returned as a *QueryError; parse and planning errors are not
+// wrapped.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	cfg := queryConfig{strategy: Unnested}
 	for _, o := range opts {
@@ -653,7 +679,7 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	start := time.Now()
 	rel, err := ex.Run(plan)
 	if err != nil {
-		return nil, err
+		return nil, wrapQueryError(sql, cfg, time.Since(start), err)
 	}
 	res := &Result{
 		Columns:  append([]string(nil), rel.Schema.Attrs()...),
@@ -668,6 +694,15 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// QueryContext is Query with cancellation: it runs sql until ctx is
+// done, then aborts within roughly one morsel's worth of work and
+// returns ctx.Err() (context.Canceled or context.DeadlineExceeded)
+// wrapped in a *QueryError. An explicit WithContext in opts overrides
+// ctx.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...Option) (*Result, error) {
+	return db.Query(sql, append([]Option{WithContext(ctx)}, opts...)...)
 }
 
 // subplanNodes resolves the physical plans of the subqueries the
@@ -702,7 +737,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	start := time.Now()
 	rel, err := ex.Run(plan)
 	if err != nil {
-		return "", err
+		return "", wrapQueryError(sql, cfg, time.Since(start), err)
 	}
 	elapsed := time.Since(start)
 	root, err := ex.Plan(plan)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -53,7 +54,7 @@ func main() {
 		res, err := db.Query(query2d,
 			disqo.WithStrategy(strategy), disqo.WithTimeout(*timeout))
 		switch {
-		case err == disqo.ErrTimeout:
+		case errors.Is(err, disqo.ErrTimeout):
 			fmt.Printf("%-10s n/a (exceeded %s — the paper's six-hour cutoff in miniature)\n", strategy, timeout)
 			continue
 		case err != nil:

@@ -1,0 +1,72 @@
+package disqo_test
+
+import (
+	"testing"
+	"time"
+
+	"disqo"
+	"disqo/internal/types"
+)
+
+// fuzzDB builds the tiny catalog the end-to-end fuzzer queries: the
+// paper's r/s/t shape with a handful of rows, plus a string column so
+// LIKE and type-mismatch paths are reachable.
+func fuzzDB(tb testing.TB) *disqo.DB {
+	db := disqo.Open()
+	for _, spec := range []struct{ name, p string }{{"r", "a"}, {"s", "b"}, {"t", "c"}} {
+		if err := db.CreateTable(spec.name, []disqo.Column{
+			{Name: spec.p + "1", Type: types.KindInt},
+			{Name: spec.p + "2", Type: types.KindInt},
+			{Name: spec.p + "3", Type: types.KindString},
+			{Name: spec.p + "4", Type: types.KindInt},
+		}); err != nil {
+			tb.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := db.Insert(spec.name, []disqo.Value{
+				types.NewInt(int64(i % 3)), types.NewInt(int64(i % 2)),
+				types.NewString(string(rune('a' + i))), types.NewInt(int64(i * 500)),
+			}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// FuzzQuery fuzzes the full pipeline — parse, translate, rewrite,
+// lower, execute — against a tiny catalog under both the unnested and
+// canonical strategies. The contract is the engine's robustness
+// guarantee end to end: any input string produces rows or an error;
+// panics anywhere in the lifecycle fail the fuzz run. Timeout and
+// tuple-limit budgets keep pathological inputs (cross joins, deep
+// nesting) from stalling the fuzzer.
+//
+// verify.sh runs this for a 10s smoke on every full verification;
+// longer sessions: go test -fuzz=FuzzQuery .
+func FuzzQuery(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT DISTINCT * FROM r WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) OR a4 > 1500",
+		"SELECT DISTINCT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500)",
+		"SELECT DISTINCT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2 AND b4 > 2500) OR a4 > 1500",
+		"SELECT a1, COUNT(*) FROM r GROUP BY a1 HAVING COUNT(*) > 1 ORDER BY a1 DESC",
+		"SELECT * FROM r, s WHERE a1 = b1 AND a3 LIKE 'a%'",
+		"SELECT a1 FROM r WHERE a1 > ALL (SELECT b1 FROM s WHERE b2 = a2)",
+		"SELECT a1 + a2 * a4 / a1 FROM r WHERE a3 IS NOT NULL",
+	} {
+		f.Add(seed)
+	}
+	db := fuzzDB(f)
+	strategies := []disqo.Strategy{disqo.Unnested, disqo.Canonical}
+	f.Fuzz(func(t *testing.T, sql string) {
+		for _, s := range strategies {
+			// Errors are expected on arbitrary input; crashes and hangs
+			// are the failures being hunted.
+			_, _ = db.Query(sql,
+				disqo.WithStrategy(s),
+				disqo.WithTimeout(2*time.Second),
+				disqo.WithTupleLimit(100_000),
+				disqo.WithWorkers(2))
+		}
+	})
+}

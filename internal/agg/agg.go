@@ -201,8 +201,8 @@ func (a *Acc) Add(args []types.Value) {
 	case Count:
 		// counting is enough
 	case Sum, Avg:
-		if v.Kind() == types.KindInt && a.isInt {
-			a.sumI += v.Int()
+		if i, ok := v.IntOk(); ok && a.isInt {
+			a.sumI += i
 		} else {
 			if a.isInt {
 				a.sum = float64(a.sumI)

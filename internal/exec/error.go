@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"disqo/internal/physical"
+)
+
+// OpError attributes an executor failure to a physical plan node. The
+// NodeID is the planner-assigned dense ID printed by EXPLAIN ANALYZE,
+// so an error can be matched to the annotated plan tree. Errors are
+// wrapped exactly once, at the innermost operator that observed them,
+// so the attribution survives propagation through parent operators.
+type OpError struct {
+	NodeID int    // planner-assigned dense node ID
+	Op     string // the node's Label at failure time
+	Err    error
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("exec: node %d (%s): %v", e.NodeID, e.Op, e.Err)
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// PanicError is a panic recovered inside the executor — from expression
+// evaluation, aggregation, storage, or an injected fault — converted to
+// an error so a bad tuple or a bug in one operator aborts one query
+// instead of the process.
+type PanicError struct {
+	Val   any    // the recovered panic value
+	Stack []byte // goroutine stack captured at the recovery point
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: recovered panic: %v", e.Val)
+}
+
+// Unwrap exposes panic values that are themselves errors (an injected
+// fault, an error thrown through panic) to errors.Is / errors.As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Val.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapOp attributes err to node n unless some inner operator already
+// claimed it — the innermost attribution is the useful one.
+func wrapOp(n physical.Node, err error) error {
+	if n == nil {
+		return err
+	}
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return err
+	}
+	return &OpError{NodeID: n.ID(), Op: n.Label(), Err: err}
+}
+
+// recoverError converts a recovered panic value into an error
+// attributed to the operator this executor was evaluating when the
+// panic unwound. Never returns nil.
+func (ex *Executor) recoverError(r any) error {
+	return wrapOp(ex.cur, &PanicError{Val: r, Stack: debug.Stack()})
+}

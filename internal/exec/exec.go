@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 
 	"disqo/internal/algebra"
 	"disqo/internal/catalog"
+	"disqo/internal/faultinject"
 	"disqo/internal/physical"
 	"disqo/internal/stats"
 	"disqo/internal/storage"
@@ -75,6 +77,16 @@ type Options struct {
 	// Tracer receives operator open/morsel/close events; nil disables
 	// tracing at zero cost.
 	Tracer Tracer
+	// Ctx cancels evaluation when done: the executor polls it in the
+	// periodic tick, at every morsel boundary, and on entry to Run,
+	// failing the query with ctx.Err() (context.Canceled or
+	// context.DeadlineExceeded). nil means no external cancellation.
+	Ctx context.Context
+	// Fault is the deterministic fault-injection hook
+	// (internal/faultinject), visited at operator entry, morsel
+	// boundaries, and memo fills. nil disables injection; the disabled
+	// path costs one branch per visit.
+	Fault *faultinject.Injector
 }
 
 // Stats counts work done by one execution, letting tests and benchmarks
@@ -136,9 +148,10 @@ type Executor struct {
 	// physical node ID; nil unless Options.Metrics is set. Worker clones
 	// get private shards merged back by parMorsels.
 	nm []NodeMetrics
-	// cur is the node currently being evaluated, tracked only while
-	// metrics or tracing are on; morsel and hash-build events are
-	// attributed to it.
+	// cur is the node currently being evaluated; morsel and hash-build
+	// events, injected faults, and recovered panics are attributed to
+	// it. Tracking it is a pointer assignment per operator, so it is
+	// maintained unconditionally.
 	cur physical.Node
 
 	deadline time.Time
@@ -228,8 +241,13 @@ func (ex *Executor) NodeFor(op algebra.Op) (physical.Node, bool) {
 	return ex.planner.NodeFor(op)
 }
 
-// Run evaluates a plan top-level (no outer bindings).
-func (ex *Executor) Run(plan algebra.Op) (*storage.Relation, error) {
+// Run evaluates a plan top-level (no outer bindings). Failures come
+// back attributed to the failing physical node (*OpError); panics from
+// operator evaluation — on the coordinator's stack here, on worker
+// stacks in parMorsels — are recovered into *PanicError so one bad
+// query cannot crash the process, and the abort latch drains any
+// workers still running.
+func (ex *Executor) Run(plan algebra.Op) (rel *storage.Relation, err error) {
 	root, err := ex.physFor(plan)
 	if err != nil {
 		return nil, err
@@ -246,13 +264,23 @@ func (ex *Executor) Run(plan algebra.Op) (*storage.Relation, error) {
 		// the stray late-lowered node.
 		ex.nm = make([]NodeMetrics, ex.planner.NodeCount())
 	}
+	ex.cur = nil
 	ex.sh.clearAbort()
-	rel, err := ex.eval(root, nil)
-	ex.stats.Elapsed += time.Since(start)
-	if p := ex.sh.peak.Load(); p > ex.stats.PeakTuples {
-		ex.stats.PeakTuples = p
+	defer func() {
+		if r := recover(); r != nil {
+			rel, err = nil, ex.fail(ex.recoverError(r))
+		}
+		ex.stats.Elapsed += time.Since(start)
+		if p := ex.sh.peak.Load(); p > ex.stats.PeakTuples {
+			ex.stats.PeakTuples = p
+		}
+	}()
+	if ex.opt.Ctx != nil {
+		if cerr := ex.opt.Ctx.Err(); cerr != nil {
+			return nil, ex.fail(cerr)
+		}
 	}
-	return rel, err
+	return ex.eval(root, nil)
 }
 
 // physFor resolves (or lowers on demand) the physical node for a
@@ -283,6 +311,11 @@ func (ex *Executor) slowTick() error {
 	if ex.sh.aborted.Load() {
 		return ex.sh.abortError()
 	}
+	if ex.opt.Ctx != nil {
+		if err := ex.opt.Ctx.Err(); err != nil {
+			return ex.fail(err)
+		}
+	}
 	if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
 		return ex.fail(ErrTimeout)
 	}
@@ -299,12 +332,35 @@ func (ex *Executor) fail(err error) error {
 		ex.sh.abortErr = err
 	}
 	ex.sh.aborted.Store(true)
+	// Wake single-flight waiters: the flight they wait on may never
+	// finish (its owner aborted or panicked past the cleanup), and
+	// their wait loop re-checks the latch after every wakeup.
+	ex.sh.flightDone.Broadcast()
 	return ex.sh.abortErr
+}
+
+// inject visits the fault injector at a site, attributing the visit to
+// node n (-1 when unattributed). Injection off is one branch.
+func (ex *Executor) inject(site faultinject.Site, n physical.Node) error {
+	if ex.opt.Fault == nil {
+		return nil
+	}
+	id := -1
+	if n != nil {
+		id = n.ID()
+	}
+	return ex.opt.Fault.Visit(site, id)
 }
 
 func (sh *sharedState) abortError() error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return sh.abortErrLocked()
+}
+
+// abortErrLocked is abortError for callers already holding sh.mu (the
+// single-flight wait loop cannot re-lock).
+func (sh *sharedState) abortErrLocked() error {
 	if sh.abortErr == nil {
 		return errors.New("exec: aborted")
 	}
@@ -390,6 +446,9 @@ func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, erro
 	if err := ex.tick(); err != nil {
 		return nil, err
 	}
+	if ferr := ex.inject(faultinject.SiteOp, n); ferr != nil {
+		return nil, wrapOp(n, ex.fail(ferr))
+	}
 	key := memoKey{n: n}
 	if s, ok := n.(*physical.Stream); ok && !s.Fused() {
 		// Streams delegate to the shared bypass node with a side tag, so
@@ -408,6 +467,13 @@ func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, erro
 				}
 				return rel, nil
 			}
+			if ex.sh.aborted.Load() {
+				// The flight owner may have aborted or panicked without
+				// clearing the flight; fail() broadcast to get us here.
+				err := ex.sh.abortErrLocked()
+				ex.sh.mu.Unlock()
+				return nil, err
+			}
 			if !ex.sh.flight[key] {
 				break
 			}
@@ -422,20 +488,19 @@ func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, erro
 		ex.sh.mu.Unlock()
 	}
 
+	parent := ex.cur
+	ex.cur = n
 	instrumented := ex.nm != nil || ex.opt.Tracer != nil
 	var t0 time.Time
-	var parent physical.Node
 	if instrumented {
-		parent = ex.cur
-		ex.cur = n
 		if ex.opt.Tracer != nil {
 			ex.opt.Tracer.OpOpen(n)
 		}
 		t0 = time.Now()
 	}
 	rel, err := ex.evalNode(n, env)
+	ex.cur = parent
 	if instrumented {
-		ex.cur = parent
 		d := time.Since(t0)
 		var rows int64
 		if err == nil {
@@ -456,6 +521,13 @@ func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, erro
 		ex.stats.TuplesOut += int64(rel.Cardinality())
 		err = ex.checkBudget(rel.Cardinality())
 	}
+	if owns && err == nil {
+		// The fill site fires before taking the lock so a panic-mode
+		// fault cannot unwind while holding sh.mu.
+		if ferr := ex.inject(faultinject.SiteMemoFill, n); ferr != nil {
+			err = ex.fail(ferr)
+		}
+	}
 	if owns {
 		ex.sh.mu.Lock()
 		if err == nil {
@@ -473,7 +545,9 @@ func (ex *Executor) evalMemo(n physical.Node, env *Env) (*storage.Relation, erro
 		ex.sh.mu.Unlock()
 	}
 	if err != nil {
-		return nil, err
+		// Attribute the failure to the innermost operator that saw it;
+		// parent frames pass it through untouched.
+		return nil, wrapOp(n, err)
 	}
 	return rel, nil
 }

@@ -3,6 +3,8 @@ package exec
 import (
 	"sync"
 	"sync/atomic"
+
+	"disqo/internal/faultinject"
 )
 
 // Morsel-driven parallelism (Leis et al., adapted to materialized
@@ -65,8 +67,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 	}
 	if ex.fanout(n) <= 1 {
 		if !forceChunks || n <= morselSize {
-			ex.traceMorsel(0, n)
-			res, err := f(ex, 0, n)
+			res, err := runMorsel(ex, 0, n, f)
 			if err != nil {
 				return nil, err
 			}
@@ -78,8 +79,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 			if hi > n {
 				hi = n
 			}
-			ex.traceMorsel(lo, hi)
-			res, err := f(ex, lo, hi)
+			res, err := runMorsel(ex, lo, hi, f)
 			if err != nil {
 				return nil, err
 			}
@@ -113,8 +113,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 				if hi > n {
 					hi = n
 				}
-				w.traceMorsel(lo, hi)
-				res, err := f(w, lo, hi)
+				res, err := runMorsel(w, lo, hi, f)
 				if err != nil {
 					errs[m] = err
 					ex.fail(err)
@@ -137,4 +136,28 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 		}
 	}
 	return results, nil
+}
+
+// runMorsel runs f over one morsel with the per-morsel robustness
+// wrapping: the abort latch / context / deadline are polled at the
+// boundary (so cancellation lands within one morsel's worth of work),
+// the fault injector's morsel site fires here, and a panic out of f is
+// recovered into an error attributed to the operator that fanned out —
+// a worker goroutine can therefore never crash the process, and the
+// pool always drains through wg.Done.
+func runMorsel[T any](w *Executor, lo, hi int, f func(w *Executor, lo, hi int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			res, err = zero, w.recoverError(r)
+		}
+	}()
+	if terr := w.slowTick(); terr != nil {
+		return res, terr
+	}
+	if ferr := w.inject(faultinject.SiteMorsel, w.cur); ferr != nil {
+		return res, ferr
+	}
+	w.traceMorsel(lo, hi)
+	return f(w, lo, hi)
 }

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestRecordingModeNeverFires(t *testing.T) {
+	in := New()
+	for i := 0; i < 100; i++ {
+		if err := in.Visit(SiteOp, 3); err != nil {
+			t.Fatalf("recording injector fired: %v", err)
+		}
+	}
+	if got := in.Visits()[Key{SiteOp, 3}]; got != 100 {
+		t.Fatalf("visits = %d, want 100", got)
+	}
+	if in.Fired() != 0 {
+		t.Fatalf("fired = %d, want 0", in.Fired())
+	}
+}
+
+func TestArmedErrorFiresExactlyOnce(t *testing.T) {
+	in := New()
+	in.Arm(SiteMorsel, 7, 3, false)
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := in.Visit(SiteMorsel, 7); err != nil {
+			errs++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err %v does not wrap ErrInjected", err)
+			}
+			if i != 2 {
+				t.Fatalf("fired at visit %d, want visit 3", i+1)
+			}
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("fired %d times, want 1", errs)
+	}
+	// Other keys are unaffected.
+	if err := in.Visit(SiteMorsel, 8); err != nil {
+		t.Fatalf("unarmed key fired: %v", err)
+	}
+}
+
+func TestArmedPanicWrapsErrInjected(t *testing.T) {
+	in := New()
+	in.Arm(SiteOp, 0, 1, true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", r)
+		}
+	}()
+	_ = in.Visit(SiteOp, 0)
+}
+
+func TestResetKeepsArms(t *testing.T) {
+	in := New()
+	in.Arm(SiteOp, 1, 1, false)
+	if err := in.Visit(SiteOp, 1); err == nil {
+		t.Fatal("armed visit 1 did not fire")
+	}
+	in.Reset()
+	if err := in.Visit(SiteOp, 1); err == nil {
+		t.Fatal("armed visit 1 did not fire after Reset")
+	}
+	in.Disarm(SiteOp, 1)
+	in.Reset()
+	if err := in.Visit(SiteOp, 1); err != nil {
+		t.Fatalf("disarmed key fired: %v", err)
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	run := func() []int {
+		in := NewSeeded(42, 16)
+		var fired []int
+		for i := 0; i < 500; i++ {
+			if err := in.Visit(SiteOp, i%5); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("err %v does not wrap ErrInjected", err)
+				}
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("seeded injector with period 16 never fired in 500 visits")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: visit %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConcurrentVisits(t *testing.T) {
+	in := New()
+	in.Arm(SiteMorsel, 2, 500, false)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				if err := in.Visit(SiteMorsel, 2); err != nil {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fires != 1 {
+		t.Fatalf("armed fault fired %d times across workers, want 1", fires)
+	}
+	if got := in.Visits()[Key{SiteMorsel, 2}]; got != 1000 {
+		t.Fatalf("visits = %d, want 1000", got)
+	}
+}

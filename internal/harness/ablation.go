@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -96,10 +97,12 @@ func measureVariant(cat *catalog.Catalog, sql, variant string, cfg Config) Cell 
 	rel, err := ex.Run(plan)
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
-		switch err {
-		case exec.ErrTimeout:
+		// Executor failures arrive wrapped in *exec.OpError, so identity
+		// comparison would misclassify them; follow the unwrap chain.
+		switch {
+		case errors.Is(err, exec.ErrTimeout):
 			return Cell{TimedOut: true}
-		case exec.ErrMemoryLimit:
+		case errors.Is(err, exec.ErrMemoryLimit):
 			return Cell{OverMem: true}
 		}
 		return Cell{Err: err}

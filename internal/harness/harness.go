@@ -7,7 +7,9 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -76,6 +78,10 @@ type Config struct {
 	// and attaches a per-operator breakdown (Cell.Ops). The extra run is
 	// separate so instrumentation never pollutes the timed measurements.
 	OpBreakdown bool
+	// Ctx cancels the remaining work of a sweep: each query runs under
+	// it, and a cell cut short by cancellation is recorded Aborted —
+	// distinct from a timeout, which is a property of the cell itself.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +109,10 @@ type Cell struct {
 	Rows     int
 	TimedOut bool
 	OverMem  bool
-	Err      error
+	// Aborted marks a cell cut short by external cancellation
+	// (Config.Ctx) rather than by its own timeout or memory budget.
+	Aborted bool
+	Err     error
 	// Ops is the per-operator breakdown from a separate metrics-enabled
 	// run; set only under Config.OpBreakdown.
 	Ops []OpBreakdown
@@ -171,6 +180,7 @@ func (t *Table) JSON() ([]byte, error) {
 		Rows     int           `json:"rows"`
 		TimedOut bool          `json:"timed_out,omitempty"`
 		OverMem  bool          `json:"over_memory,omitempty"`
+		Aborted  bool          `json:"aborted,omitempty"`
 		Error    string        `json:"error,omitempty"`
 		Ops      []OpBreakdown `json:"ops,omitempty"`
 	}
@@ -186,7 +196,8 @@ func (t *Table) JSON() ([]byte, error) {
 				continue
 			}
 			cj := cellJSON{System: string(s), Param: p, Seconds: c.Seconds,
-				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem, Ops: c.Ops}
+				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem,
+				Aborted: c.Aborted, Ops: c.Ops}
 			if c.Err != nil {
 				cj.Error = c.Err.Error()
 			}
@@ -218,6 +229,8 @@ func (t *Table) Format() string {
 				fmt.Fprintf(&b, "%*s", width, "n/a")
 			case c.OverMem:
 				fmt.Fprintf(&b, "%*s", width, "mem")
+			case c.Aborted:
+				fmt.Fprintf(&b, "%*s", width, "abrt")
 			case c.Err != nil:
 				fmt.Fprintf(&b, "%*s", width, "err")
 			default:
@@ -251,14 +264,21 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		if cfg.Workers > 0 {
 			opts = append(opts, disqo.WithWorkers(cfg.Workers))
 		}
+		if cfg.Ctx != nil {
+			opts = append(opts, disqo.WithContext(cfg.Ctx))
+		}
 		start := time.Now()
 		res, err := db.Query(sql, opts...)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			switch err {
-			case disqo.ErrTimeout:
+			// The engine wraps execution failures in *disqo.QueryError,
+			// so classification must follow the unwrap chain.
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				return Cell{Aborted: true, Err: err}
+			case errors.Is(err, disqo.ErrTimeout):
 				return Cell{TimedOut: true}
-			case disqo.ErrMemoryLimit:
+			case errors.Is(err, disqo.ErrMemoryLimit):
 				return Cell{OverMem: true}
 			}
 			return Cell{Err: err}

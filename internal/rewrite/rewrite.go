@@ -509,8 +509,8 @@ func negate(e algebra.Expr) algebra.Expr {
 		// over the comparison fold).
 		return algebra.AllAny(x.Op.Negate(), !x.All, x.L, x.Plan)
 	case *algebra.ConstExpr:
-		if x.Val.Kind() == types.KindBool {
-			return algebra.Const(types.NewBool(!x.Val.Bool()))
+		if b, ok := x.Val.BoolOk(); ok {
+			return algebra.Const(types.NewBool(!b))
 		}
 		return algebra.Not(e)
 	default:

@@ -181,7 +181,7 @@ func (e *Estimator) Selectivity(pred algebra.Expr, input algebra.Op) float64 {
 	case nil:
 		return 1
 	case *algebra.ConstExpr:
-		if x.Val.Kind() == types.KindBool && x.Val.Bool() {
+		if b, ok := x.Val.BoolOk(); ok && b {
 			return 1
 		}
 		return 0

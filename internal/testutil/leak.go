@@ -1,0 +1,38 @@
+// Package testutil holds helpers shared across the repo's test
+// packages. It must not import any disqo package so every layer — from
+// types up to the public API — can use it without cycles.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to that level by
+// the end of the test. Call it first thing in any test that exercises
+// the worker pool, cancellation, or panic recovery.
+//
+// The check retries for a short grace period because exiting workers
+// may still be between their last send and goexit when the test body
+// returns; a genuine leak stays elevated past the deadline and the
+// failure message includes a full goroutine dump for diagnosis.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d running before test, %d after\n%s",
+				before, after, buf[:n])
+		}
+	})
+}

@@ -47,15 +47,16 @@ func Arith(op ArithOp, a, b Value) (Value, error) {
 	if !a.IsNumeric() || !b.IsNumeric() {
 		return Null(), fmt.Errorf("types: %s applied to %s and %s", op, a.Kind(), b.Kind())
 	}
-	if a.Kind() == KindInt && b.Kind() == KindInt && op != Div {
-		x, y := a.Int(), b.Int()
+	xi, xok := a.IntOk()
+	yi, yok := b.IntOk()
+	if xok && yok && op != Div {
 		switch op {
 		case Add:
-			return NewInt(x + y), nil
+			return NewInt(xi + yi), nil
 		case Sub:
-			return NewInt(x - y), nil
+			return NewInt(xi - yi), nil
 		default: // Mul
-			return NewInt(x * y), nil
+			return NewInt(xi * yi), nil
 		}
 	}
 	x, _ := a.AsFloat()
@@ -82,10 +83,12 @@ func Like(s, pattern Value) TriBool {
 	if s.IsNull() || pattern.IsNull() {
 		return Unknown
 	}
-	if s.Kind() != KindString || pattern.Kind() != KindString {
+	str, sok := s.StrOk()
+	pat, pok := pattern.StrOk()
+	if !sok || !pok {
 		return Unknown
 	}
-	return TriOf(likeMatch(s.Str(), pattern.Str()))
+	return TriOf(likeMatch(str, pat))
 }
 
 // likeMatch is a linear-scan wildcard matcher (greedy % with

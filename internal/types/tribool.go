@@ -90,12 +90,10 @@ func (t TriBool) Value() Value {
 // booleans map directly, and any other kind is Unknown (no implicit
 // casts; the planner type-checks predicates).
 func TriFromValue(v Value) TriBool {
-	switch v.Kind() {
-	case KindBool:
-		return TriOf(v.Bool())
-	default:
-		return Unknown
+	if b, ok := v.BoolOk(); ok {
+		return TriOf(b)
 	}
+	return Unknown
 }
 
 // CompareOp is a comparison operator θ ∈ {=, <>, <, <=, >, >=} — the

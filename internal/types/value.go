@@ -78,8 +78,9 @@ func (v Value) Kind() Kind { return v.kind }
 // IsNull reports whether v is SQL NULL.
 func (v Value) IsNull() bool { return v.kind == KindNull }
 
-// Int returns the integer payload. It panics when v is not an integer;
-// callers must check Kind first (or use AsFloat for numeric coercion).
+// Int returns the integer payload. It panics when v is not an integer,
+// so it is reserved for internal invariants (values the engine itself
+// produced with a known kind); code handling user data takes IntOk.
 func (v Value) Int() int64 {
 	if v.kind != KindInt {
 		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
@@ -87,7 +88,14 @@ func (v Value) Int() int64 {
 	return v.i
 }
 
-// Float returns the float payload. It panics when v is not a float.
+// IntOk returns the integer payload and whether v is an integer — the
+// checked accessor for executor-facing paths, where a kind mismatch is
+// bad user data, not a bug, and must surface as an error.
+func (v Value) IntOk() (int64, bool) { return v.i, v.kind == KindInt }
+
+// Float returns the float payload. It panics when v is not a float;
+// reserved for internal invariants — executor-facing code uses FloatOk
+// or AsFloat.
 func (v Value) Float() float64 {
 	if v.kind != KindFloat {
 		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
@@ -95,7 +103,12 @@ func (v Value) Float() float64 {
 	return v.f
 }
 
-// Str returns the string payload. It panics when v is not a string.
+// FloatOk returns the float payload and whether v is a float (no
+// coercion; see AsFloat for int→float widening).
+func (v Value) FloatOk() (float64, bool) { return v.f, v.kind == KindFloat }
+
+// Str returns the string payload. It panics when v is not a string;
+// reserved for internal invariants — executor-facing code uses StrOk.
 func (v Value) Str() string {
 	if v.kind != KindString {
 		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
@@ -103,13 +116,20 @@ func (v Value) Str() string {
 	return v.s
 }
 
-// Bool returns the boolean payload. It panics when v is not a boolean.
+// StrOk returns the string payload and whether v is a string.
+func (v Value) StrOk() (string, bool) { return v.s, v.kind == KindString }
+
+// Bool returns the boolean payload. It panics when v is not a boolean;
+// reserved for internal invariants — executor-facing code uses BoolOk.
 func (v Value) Bool() bool {
 	if v.kind != KindBool {
 		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
 	}
 	return v.b
 }
+
+// BoolOk returns the boolean payload and whether v is a boolean.
+func (v Value) BoolOk() (bool, bool) { return v.b, v.kind == KindBool }
 
 // IsNumeric reports whether v is an integer or a float.
 func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }

@@ -2,7 +2,9 @@
 # verify.sh — the repo's full verification chain: the tier-1 gate from
 # ROADMAP.md plus a one-iteration benchmark smoke test (catches broken
 # benchmark code and instrumentation regressions without paying for a
-# real measurement run).
+# real measurement run), the robustness suite under -race (fault
+# injection across the golden plans, cancellation stress, panic
+# recovery), and a 10-second smoke of each native fuzz target.
 set -eux
 
 go build ./...
@@ -10,3 +12,6 @@ go test ./...
 go vet ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run '^$' ./...
+go test -race -run 'TestChaos|TestCancellation|TestQueryContext|TestPanicRecovery' .
+go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
+go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .

@@ -1,0 +1,130 @@
+package disqo
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// gate is the DB's admission controller: a bounded concurrent-query
+// counter with a context-aware FIFO wait queue. At most max queries
+// execute at once; up to maxQueue more wait their turn in arrival
+// order. A query that finds the queue full — or whose wait budget
+// expires while queued — is shed with ErrOverloaded instead of piling
+// onto an already saturated engine. Slots hand over directly from a
+// finishing query to the head waiter, so admission is strictly FIFO and
+// a continuous load never starves a waiter.
+type gate struct {
+	mu     sync.Mutex
+	max    int           // concurrent-execution slots
+	maxQ   int           // wait-queue bound
+	wait   time.Duration // per-query wait budget; 0 = wait indefinitely
+	active int
+	queue  []chan struct{} // FIFO of waiters; a slot grant closes the channel
+}
+
+// newGate builds a gate; max <= 0 disables admission control (the
+// returned nil gate admits everything).
+func newGate(max, maxQueue int, wait time.Duration) *gate {
+	if max <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{max: max, maxQ: maxQueue, wait: wait}
+}
+
+// acquire claims an execution slot, waiting in FIFO order behind a full
+// gate. It returns ErrOverloaded when the wait queue is full or the
+// wait budget expires, and ctx.Err() when the caller's context is done
+// first. A nil gate admits immediately.
+func (g *gate) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	if g.active < g.max {
+		g.active++
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.queue) >= g.maxQ {
+		g.mu.Unlock()
+		return ErrOverloaded
+	}
+	ch := make(chan struct{})
+	g.queue = append(g.queue, ch)
+	g.mu.Unlock()
+
+	var timerC <-chan time.Time
+	if g.wait > 0 {
+		t := time.NewTimer(g.wait)
+		defer t.Stop()
+		timerC = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-timerC:
+		if g.abandon(ch) {
+			return ErrOverloaded
+		}
+		return nil // a release granted the slot as the timer fired; keep it
+	case <-done:
+		if g.abandon(ch) {
+			return ctx.Err()
+		}
+		return nil
+	}
+}
+
+// abandon removes a waiter from the queue. It returns false when a
+// release already granted the slot to ch — the grant and the abandon
+// race under one mutex, so exactly one wins — in which case the caller
+// owns the slot after all.
+func (g *gate) abandon(ch chan struct{}) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, c := range g.queue {
+		if c == ch {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns a slot: the head waiter inherits it directly (the
+// active count is unchanged — ownership transfers), or the slot opens
+// up when nobody waits.
+func (g *gate) release() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		ch := g.queue[0]
+		g.queue = g.queue[1:]
+		g.mu.Unlock()
+		close(ch)
+		return
+	}
+	g.active--
+	g.mu.Unlock()
+}
+
+// saturation reports the gate's instantaneous load: executing queries
+// and queued waiters. A nil gate reports zeros.
+func (g *gate) saturation() (active, queued int) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active, len(g.queue)
+}

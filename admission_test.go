@@ -1,0 +1,330 @@
+package disqo
+
+// Admission-control suite: unit tests for the FIFO gate itself, plus
+// end-to-end tests that hold a real query mid-flight (via a blocking
+// tracer) and assert the documented shedding behavior — immediate
+// ErrOverloaded on a full queue, ErrOverloaded after the wait budget,
+// FIFO slot handoff, and context cancellation while queued. All errors
+// must arrive as *QueryError with ErrOverloaded reachable via errors.Is.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disqo/internal/physical"
+	"disqo/internal/testutil"
+	"disqo/internal/types"
+)
+
+// blockTracer parks query execution at a chosen traced event, turning
+// "a query is mid-flight" into a deterministic test state: started is
+// closed when the query reaches the blocking site, and the query stays
+// parked until release is closed. With onClose it parks at the SECOND
+// OpClose — by then the first-finished operator's output has been pinned
+// into the shared memo, so the parked query provably holds resident
+// tuples; otherwise it parks at the first OpOpen, before any work.
+type blockTracer struct {
+	onClose bool
+	closes  atomic.Int64
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockTracer(onClose bool) *blockTracer {
+	return &blockTracer{onClose: onClose, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (b *blockTracer) block() {
+	b.once.Do(func() {
+		close(b.started)
+		<-b.release
+	})
+}
+
+func (b *blockTracer) OpOpen(physical.Node) {
+	if !b.onClose {
+		b.block()
+	}
+}
+
+func (b *blockTracer) OpMorsel(physical.Node, int, int) {}
+
+func (b *blockTracer) OpClose(physical.Node, int64, time.Duration) {
+	if b.onClose && b.closes.Add(1) >= 2 {
+		b.block()
+	}
+}
+
+const gateQuery = `SELECT DISTINCT * FROM k`
+
+// smallDB builds a DB (with the given open options) holding one table k
+// with rows two-column rows.
+func gateDB(t testing.TB, rows int, opts ...OpenOption) *DB {
+	t.Helper()
+	db := Open(opts...)
+	cols := []Column{{Name: "v", Type: types.KindInt}, {Name: "w", Type: types.KindInt}}
+	if err := db.CreateTable("k", cols); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]Value, rows)
+	for i := range batch {
+		batch[i] = []Value{types.NewInt(int64(i)), types.NewInt(int64(i % 7))}
+	}
+	if err := db.Insert("k", batch...); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// waitSaturation polls the gate until it reports the wanted load, so
+// tests order events without sleeping blind.
+func waitSaturation(t *testing.T, g *gate, active, queued int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a, q := g.saturation()
+		if a == active && q == queued {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	a, q := g.saturation()
+	t.Fatalf("gate never reached active=%d queued=%d (stuck at active=%d queued=%d)", active, queued, a, q)
+}
+
+func TestGateNilAdmitsEverything(t *testing.T) {
+	var g *gate
+	if g := newGate(0, 10, time.Second); g != nil {
+		t.Fatal("max=0 should build a nil (unlimited) gate")
+	}
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("nil gate refused admission: %v", err)
+	}
+	g.release()
+	if a, q := g.saturation(); a != 0 || q != 0 {
+		t.Fatalf("nil gate reports load %d/%d", a, q)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(1, 0, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
+	}
+	g.release()
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatalf("slot freed but admission failed: %v", err)
+	}
+	g.release()
+}
+
+func TestGateFIFOHandoff(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := newGate(1, 2, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	for _, name := range []string{"first", "second"} {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.acquire(context.Background()); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			order <- name
+			g.release()
+		}()
+		// Enqueue strictly in order: wait until this waiter is queued
+		// before starting the next.
+		want := 1
+		if name == "second" {
+			want = 2
+		}
+		waitSaturation(t, g, 1, want)
+	}
+	g.release()
+	wg.Wait()
+	if a, b := <-order, <-order; a != "first" || b != "second" {
+		t.Fatalf("handoff order was %s, %s; want first, second", a, b)
+	}
+	if a, q := g.saturation(); a != 0 || q != 0 {
+		t.Fatalf("gate not drained: active=%d queued=%d", a, q)
+	}
+}
+
+func TestGateWaitBudgetExpires(t *testing.T) {
+	g := newGate(1, 2, 20*time.Millisecond)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired wait returned %v, want ErrOverloaded", err)
+	}
+	g.release()
+	if a, q := g.saturation(); a != 0 || q != 0 {
+		t.Fatalf("abandoned waiter left load: active=%d queued=%d", a, q)
+	}
+}
+
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	g := newGate(1, 2, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- g.acquire(ctx) }()
+	waitSaturation(t, g, 1, 1)
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	g.release()
+	if a, q := g.saturation(); a != 0 || q != 0 {
+		t.Fatalf("cancelled waiter left load: active=%d queued=%d", a, q)
+	}
+}
+
+// TestAdmissionShedsImmediately is the end-to-end shape of the queue-full
+// path: one slot, no queue, one query parked mid-flight — the next Query
+// call must return ErrOverloaded at once, wrapped in a *QueryError.
+func TestAdmissionShedsImmediately(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := gateDB(t, 16, WithMaxConcurrent(1), WithMaxQueued(-1))
+	tr := newBlockTracer(false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery, WithTracer(tr))
+		done <- err
+	}()
+	<-tr.started
+
+	_, err := db.Query(gateQuery)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated DB returned %v, want ErrOverloaded", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("shed error %T is not a *QueryError: %v", err, err)
+	}
+	if qe.Query != gateQuery {
+		t.Fatalf("shed *QueryError lost the query text: %q", qe.Query)
+	}
+
+	close(tr.release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked query failed after release: %v", err)
+	}
+	// The slot is free again: admission must succeed now.
+	if _, err := db.Query(gateQuery); err != nil {
+		t.Fatalf("query after release failed: %v", err)
+	}
+}
+
+// TestAdmissionQueueHandsOff verifies the happy path behind a full gate:
+// a queued query waits (no shedding without a wait budget) and inherits
+// the slot the moment the running query finishes.
+func TestAdmissionQueueHandsOff(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := gateDB(t, 16, WithMaxConcurrent(1), WithMaxQueued(4))
+	tr := newBlockTracer(false)
+	first := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery, WithTracer(tr))
+		first <- err
+	}()
+	<-tr.started
+
+	second := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery)
+		second <- err
+	}()
+	waitSaturation(t, db.gate, 1, 1)
+
+	select {
+	case err := <-second:
+		t.Fatalf("queued query returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(tr.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("queued query after handoff: %v", err)
+	}
+}
+
+// TestAdmissionWaitBudget: a queued query whose WithAdmissionWait budget
+// expires is shed with ErrOverloaded even though the queue had room.
+func TestAdmissionWaitBudget(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := gateDB(t, 16, WithMaxConcurrent(1), WithMaxQueued(4), WithAdmissionWait(25*time.Millisecond))
+	tr := newBlockTracer(false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery, WithTracer(tr))
+		done <- err
+	}()
+	<-tr.started
+
+	_, err := db.Query(gateQuery)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired wait returned %v, want ErrOverloaded", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("shed error %T is not a *QueryError", err)
+	}
+
+	close(tr.release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked query failed: %v", err)
+	}
+}
+
+// TestAdmissionContextCancelWhileQueued: cancelling a queued query's
+// context surfaces context.Canceled (not ErrOverloaded) through the
+// *QueryError wrapper.
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := gateDB(t, 16, WithMaxConcurrent(1), WithMaxQueued(4))
+	tr := newBlockTracer(false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery, WithTracer(tr))
+		done <- err
+	}()
+	<-tr.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := db.QueryContext(ctx, gateQuery)
+		queued <- err
+	}()
+	waitSaturation(t, db.gate, 1, 1)
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued query returned %v, want context.Canceled", err)
+	}
+
+	close(tr.release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked query failed: %v", err)
+	}
+}

@@ -44,11 +44,12 @@ func main() {
 		execSQL  = flag.String("e", "", "execute one statement and exit")
 		explain  = flag.Bool("explain", false, "with -e: explain instead of executing")
 		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
+		maxConc  = flag.Int("max-concurrent", 0, "admission limit on concurrent queries (0 = engine default, <0 = unlimited)")
 		traceOut = flag.String("trace", "", "stream per-operator spans as JSON lines to this file")
 	)
 	flag.Parse()
 
-	db := disqo.Open()
+	db := disqo.Open(disqo.WithMaxConcurrent(*maxConc))
 	if *rstSF > 0 {
 		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {
 			fatal(err)
@@ -120,6 +121,10 @@ func queryContext() (context.Context, context.CancelFunc) {
 func reportError(err error) {
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "canceled")
+		return
+	}
+	if errors.Is(err, disqo.ErrOverloaded) {
+		fmt.Fprintln(os.Stderr, "overloaded: too many concurrent queries, retry shortly")
 		return
 	}
 	fmt.Fprintf(os.Stderr, "error: %v\n", err)

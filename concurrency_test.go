@@ -1,0 +1,473 @@
+package disqo
+
+// Concurrency suite for the snapshot-isolated engine: golden plan shapes
+// re-executed by concurrent readers against live UPDATE/DELETE/DDL
+// churn (every result must match SOME committed snapshot), a mixed
+// stress workload (32 readers × 9 writers × 120 iterations) whose
+// whole-table-UPDATE invariant catches torn writes, lost-update checks
+// on concurrent inserts, the DB-wide shared tuple budget, and chaos
+// isolation — an injected fault in one of five concurrent queries must
+// never abort or corrupt its neighbors. Everything runs under
+// internal/testutil.VerifyNoLeaks and is designed for `go test -race`.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"disqo/internal/faultinject"
+	"disqo/internal/testutil"
+	"disqo/internal/types"
+)
+
+// churnScript is the deterministic DML/DDL sequence the isolation tests
+// apply: UPDATEs and DELETEs that change the golden queries' answers,
+// plus DDL on a bystander table. Applying it sequentially to a mirror DB
+// enumerates every legal committed state.
+var churnScript = []string{
+	`UPDATE r SET a4 = 100 WHERE a3 = 7`,
+	`DELETE FROM r WHERE a3 = 5`,
+	`INSERT INTO r VALUES (3, 1, 100, 1600)`,
+	`CREATE TABLE aux (x INTEGER)`,
+	`UPDATE s SET b4 = 0 WHERE b3 = 1`,
+	`INSERT INTO s VALUES (1000, 3, 1, 2000)`,
+	`DELETE FROM s WHERE b1 = 10`,
+	`INSERT INTO aux VALUES (1)`,
+	`UPDATE r SET a1 = 8 WHERE a2 = 2`,
+	`DROP TABLE aux`,
+	`DELETE FROM r WHERE a4 = 100`,
+	`UPDATE s SET b2 = 2 WHERE b3 = 2`,
+}
+
+// TestSnapshotIsolationGoldenShapes runs each golden plan shape from N
+// goroutines while a writer applies churnScript to the live DB. A mirror
+// DB applies the same script sequentially first, collecting the
+// fingerprint of the query's answer at every commit boundary — the set
+// of legal snapshots. Every concurrent result must be byte-identical to
+// one of them: a torn read (part old table version, part new) fails the
+// membership check, and the final states of mirror and live DB must
+// agree exactly.
+func TestSnapshotIsolationGoldenShapes(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const readersPerShape = 4
+	for _, plan := range chaosPlans {
+		plan := plan
+		t.Run(plan.name, func(t *testing.T) {
+			fingerprint := func(db *DB) string {
+				res, err := db.Query(plan.sql, WithStrategy(plan.strategy))
+				if err != nil {
+					t.Fatalf("fingerprint query: %v", err)
+				}
+				return rowsFingerprint(res)
+			}
+
+			mirror := chaosDB(t, 48, plan.highA4)
+			legal := map[string]bool{fingerprint(mirror): true}
+			for _, stmt := range churnScript {
+				if _, err := mirror.Exec(stmt); err != nil {
+					t.Fatalf("mirror %q: %v", stmt, err)
+				}
+				legal[fingerprint(mirror)] = true
+			}
+
+			db := chaosDB(t, 48, plan.highA4)
+			stop := make(chan struct{})
+			errCh := make(chan error, readersPerShape)
+			var wg sync.WaitGroup
+			for i := 0; i < readersPerShape; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := db.Query(plan.sql, WithStrategy(plan.strategy))
+						if err != nil {
+							errCh <- fmt.Errorf("concurrent reader: %w", err)
+							return
+						}
+						if !legal[rowsFingerprint(res)] {
+							errCh <- fmt.Errorf("reader observed a result matching no committed snapshot:\n%s",
+								rowsFingerprint(res))
+							return
+						}
+					}
+				}()
+			}
+			for _, stmt := range churnScript {
+				if _, err := db.Exec(stmt); err != nil {
+					t.Errorf("live %q: %v", stmt, err)
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+			if got, want := fingerprint(db), fingerprint(mirror); got != want {
+				t.Fatalf("final states diverged:\n--- live ---\n%s--- mirror ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestStressMixedWorkload is the acceptance stress test: 32 concurrent
+// readers and 9 writers (8 whole-table updaters plus a DDL churner) for
+// 120 iterations each. Each updater owns one table and commits
+// whole-table UPDATEs, so any reader must see all eight rows carrying
+// the same value — a torn write would mix two versions. Queries the
+// admission gate sheds count as back-pressure, not failures, but must
+// arrive as *QueryError wrapping ErrOverloaded.
+func TestStressMixedWorkload(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const (
+		readers    = 32
+		updaters   = 8
+		iterations = 120
+		tableRows  = 8
+	)
+	db := Open()
+	for k := 0; k < updaters; k++ {
+		name := fmt.Sprintf("w%d", k)
+		if err := db.CreateTable(name, []Column{{Name: "v", Type: types.KindInt}}); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]Value, tableRows)
+		for i := range rows {
+			rows[i] = []Value{types.NewInt(0)}
+		}
+		if err := db.Insert(name, rows...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		fails []error
+		shed  int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if len(fails) < 8 {
+			fails = append(fails, err)
+		}
+		mu.Unlock()
+	}
+
+	for k := 0; k < updaters; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= iterations; i++ {
+				if _, err := db.Exec(fmt.Sprintf("UPDATE w%d SET v = %d", k, i)); err != nil {
+					fail(fmt.Errorf("updater %d iter %d: %w", k, i, err))
+					return
+				}
+			}
+		}()
+	}
+	// The ninth writer churns DDL: repeated CREATE/DROP of a bystander
+	// table interleaves catalog version bumps with the updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations/2; i++ {
+			if _, err := db.Exec("CREATE TABLE churn (x INTEGER)"); err != nil {
+				fail(fmt.Errorf("ddl churner create: %w", err))
+				return
+			}
+			if _, err := db.Exec("DROP TABLE churn"); err != nil {
+				fail(fmt.Errorf("ddl churner drop: %w", err))
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				table := (r + i) % updaters
+				res, err := db.Query(fmt.Sprintf("SELECT * FROM w%d", table))
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						var qe *QueryError
+						if !errors.As(err, &qe) {
+							fail(fmt.Errorf("reader %d: shed error is not a *QueryError: %w", r, err))
+							return
+						}
+						mu.Lock()
+						shed++
+						mu.Unlock()
+						continue
+					}
+					fail(fmt.Errorf("reader %d iter %d: %w", r, i, err))
+					return
+				}
+				if len(res.Rows) != tableRows {
+					fail(fmt.Errorf("reader %d: w%d has %d rows, want %d (torn INSERT/DELETE?)",
+						r, table, len(res.Rows), tableRows))
+					return
+				}
+				first := res.Rows[0][0]
+				for _, row := range res.Rows[1:] {
+					if !types.Identical(first, row[0]) {
+						fail(fmt.Errorf("reader %d: torn write in w%d: saw both %s and %s",
+							r, table, first, row[0]))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range fails {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Every updater's final commit must be visible.
+	for k := 0; k < updaters; k++ {
+		res, err := db.Query(fmt.Sprintf("SELECT DISTINCT * FROM w%d", k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || !types.Identical(res.Rows[0][0], types.NewInt(iterations)) {
+			t.Fatalf("w%d final state: %v, want all rows = %d", k, res.Rows, iterations)
+		}
+	}
+	if shed > 0 {
+		t.Logf("admission gate shed %d reads (classified, tolerated)", shed)
+	}
+}
+
+// TestConcurrentInsertsNoLostUpdates drives the writer-serialization
+// path: concurrent db.Insert calls and INSERT statements against one
+// table must all commit — a lost copy-on-write update would drop rows.
+func TestConcurrentInsertsNoLostUpdates(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := gateDB(t, 0)
+	const (
+		apiWriters  = 8
+		sqlWriters  = 4
+		perAPI      = 50
+		perSQL      = 25
+	)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var fails []error
+	for w := 0; w < apiWriters; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perAPI; i++ {
+				err := db.Insert("k", []Value{types.NewInt(int64(w)), types.NewInt(int64(i))})
+				if err != nil {
+					mu.Lock()
+					fails = append(fails, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < sqlWriters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSQL; i++ {
+				if _, err := db.Exec("INSERT INTO k VALUES (99, 99)"); err != nil {
+					mu.Lock()
+					fails = append(fails, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range fails {
+		t.Fatal(err)
+	}
+	want := apiWriters*perAPI + sqlWriters*perSQL
+	if n, err := db.RowCount("k"); err != nil || n != want {
+		t.Fatalf("RowCount = %d, %v; want %d (lost updates)", n, err, want)
+	}
+}
+
+// TestSharedTupleBudget covers the DB-wide resource governor end to end:
+// sequential queries under a budget equal to one query's peak all
+// succeed (proving the charge is released when each query closes), and a
+// second query launched while the first is parked with its tuples
+// resident deterministically aborts with ErrMemoryLimit — reachable as
+// the documented ErrTupleLimit alias — then succeeds once the budget
+// frees up.
+func TestSharedTupleBudget(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const rows = 200
+	base := gateDB(t, rows)
+	res, err := base.Query(gateQuery, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.Stats.PeakTuples
+	if peak < int64(rows) {
+		t.Fatalf("peak resident %d below table size %d; budget test assumptions broken", peak, rows)
+	}
+
+	db := gateDB(t, rows, WithSharedTupleLimit(peak))
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(gateQuery, WithWorkers(1)); err != nil {
+			t.Fatalf("sequential run %d under exact budget failed: %v (budget leak?)", i, err)
+		}
+	}
+
+	// Park query 1 after its first operator pinned output tuples.
+	tr := newBlockTracer(true)
+	first := make(chan error, 1)
+	go func() {
+		_, err := db.Query(gateQuery, WithWorkers(1), WithTracer(tr))
+		first <- err
+	}()
+	<-tr.started
+	if db.budget.Resident() == 0 {
+		t.Fatal("parked query holds no resident tuples; blocking site moved")
+	}
+
+	_, err = db.Query(gateQuery, WithWorkers(1))
+	if !errors.Is(err, ErrTupleLimit) || !errors.Is(err, ErrMemoryLimit) {
+		t.Fatalf("over-budget query returned %v, want ErrTupleLimit (= ErrMemoryLimit)", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("budget error %T is not a *QueryError", err)
+	}
+
+	close(tr.release)
+	if err := <-first; err != nil {
+		t.Fatalf("parked query failed after release: %v", err)
+	}
+	if got := db.budget.Resident(); got != 0 {
+		t.Fatalf("budget still holds %d tuples after all queries closed", got)
+	}
+	if _, err := db.Query(gateQuery, WithWorkers(1)); err != nil {
+		t.Fatalf("query after budget freed failed: %v", err)
+	}
+}
+
+// TestChaosConcurrentIsolation arms a deterministic fault in one query
+// while four clean queries (the other golden shapes) run concurrently
+// against the same DB, repeatedly: the injected error or panic must
+// surface only in the faulted query, every neighbor must return its
+// exact baseline rows, and the DB must stay fully usable afterwards.
+func TestChaosConcurrentIsolation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := chaosDB(t, 64, false)
+
+	// The five shapes that share the low-a4 dataset; the first is the
+	// fault target, the rest run clean alongside it.
+	var plans []struct {
+		name     string
+		sql      string
+		strategy Strategy
+		highA4   bool
+	}
+	for _, p := range chaosPlans {
+		if !p.highA4 {
+			plans = append(plans, p)
+		}
+	}
+	target := plans[0]
+	neighbors := plans[1:]
+	if len(neighbors)+1 < 5 {
+		t.Fatalf("need at least 5 concurrent queries, have %d", len(neighbors)+1)
+	}
+
+	baselines := make(map[string]string, len(plans))
+	for _, p := range plans {
+		res, err := db.Query(p.sql, WithStrategy(p.strategy), WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%s baseline: %v", p.name, err)
+		}
+		baselines[p.name] = rowsFingerprint(res)
+	}
+
+	rec := faultinject.New()
+	if _, err := db.Query(target.sql, WithStrategy(target.strategy), WithWorkers(2),
+		withFaultInjector(rec)); err != nil {
+		t.Fatal(err)
+	}
+	keys := sortedKeys(rec.Visits())
+	if len(keys) == 0 {
+		t.Fatal("no injection points recorded")
+	}
+	picks := []faultinject.Key{keys[0], keys[len(keys)/2], keys[len(keys)-1]}
+
+	for _, key := range picks {
+		for _, panics := range []bool{false, true} {
+			key, panics := key, panics
+			t.Run(fmt.Sprintf("%s@%d panic=%v", key.Site, key.Node, panics), func(t *testing.T) {
+				var wg sync.WaitGroup
+				wg.Add(1)
+				faultErr := make(chan error, 1)
+				go func() {
+					defer wg.Done()
+					fi := faultinject.New()
+					fi.Arm(key.Site, key.Node, 1, panics)
+					_, err := db.Query(target.sql, WithStrategy(target.strategy),
+						WithWorkers(2), withFaultInjector(fi))
+					faultErr <- err
+				}()
+				for _, p := range neighbors {
+					p := p
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						res, err := db.Query(p.sql, WithStrategy(p.strategy), WithWorkers(2))
+						if err != nil {
+							t.Errorf("neighbor %s aborted by a fault in another query: %v", p.name, err)
+							return
+						}
+						if got := rowsFingerprint(res); got != baselines[p.name] {
+							t.Errorf("neighbor %s corrupted by a fault in another query", p.name)
+						}
+					}()
+				}
+				wg.Wait()
+				err := <-faultErr
+				if err == nil {
+					t.Fatal("armed fault did not surface in the target query")
+				}
+				if !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("target error does not resolve the injected cause: %v", err)
+				}
+			})
+		}
+	}
+
+	// After every trial the DB answers all shapes correctly.
+	for _, p := range plans {
+		res, err := db.Query(p.sql, WithStrategy(p.strategy), WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%s after chaos: %v", p.name, err)
+		}
+		if rowsFingerprint(res) != baselines[p.name] {
+			t.Fatalf("%s drifted after chaos", p.name)
+		}
+	}
+}

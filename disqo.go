@@ -29,8 +29,10 @@ package disqo
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"disqo/internal/algebra"
@@ -107,29 +109,135 @@ const (
 func Strategies() []Strategy { return []Strategy{S1, S2, S3, Canonical, Unnested} }
 
 // DB is an in-memory database: a catalog of tables plus query machinery.
-// It is not safe for concurrent use; wrap it with your own
-// synchronization if needed.
+// It is safe for concurrent use: queries pin an immutable catalog
+// snapshot at plan time (snapshot-isolated reads — an in-flight query
+// never observes a torn write), DML and DDL build new table versions
+// copy-on-write and commit them atomically, and an admission gate sheds
+// excess concurrent queries with ErrOverloaded instead of thrashing.
+// See the OpenOption set (WithMaxConcurrent, WithMaxQueued,
+// WithAdmissionWait, WithSharedTupleLimit) and README "Concurrency &
+// overload". The data loaders (LoadRST, LoadTPCH) are the one
+// exception: run them during setup, before serving concurrent traffic.
 type DB struct {
-	cat   *catalog.Catalog
-	views map[string]*sqlparser.SelectStmt
+	cat *catalog.Catalog
+
+	// viewMu guards the views map: queries copy it at plan time, view
+	// DDL mutates it.
+	viewMu sync.RWMutex
+	views  map[string]*sqlparser.SelectStmt
+
+	// writeMu serializes Exec statements (DML and DDL), making each a
+	// little transaction: read a consistent pre-image, compute the new
+	// version, swap it in. Readers never take it.
+	writeMu sync.Mutex
+
+	// gate is the admission controller; nil means unlimited admission.
+	gate *gate
+	// budget is the DB-wide resident-tuple budget shared by all
+	// concurrent queries; nil means per-query limits only.
+	budget *exec.Budget
 }
 
-// Open creates an empty database.
-func Open() *DB {
-	return &DB{cat: catalog.New(), views: make(map[string]*sqlparser.SelectStmt)}
+// OpenOptions configures a DB at Open time. The zero value of each
+// field selects the documented default.
+type OpenOptions struct {
+	// MaxConcurrent bounds the queries executing at once; 0 derives the
+	// default from GOMAXPROCS (8×), and a negative value disables
+	// admission control entirely.
+	MaxConcurrent int
+	// MaxQueued bounds the FIFO wait queue behind a full gate; queries
+	// beyond it are shed immediately with ErrOverloaded. 0 derives the
+	// default (4 × MaxConcurrent).
+	MaxQueued int
+	// AdmissionWait is the longest a query waits in the queue before it
+	// is shed with ErrOverloaded; 0 waits indefinitely (until a slot
+	// opens or the query's context is done).
+	AdmissionWait time.Duration
+	// SharedTupleLimit bounds the tuples simultaneously resident across
+	// ALL concurrent queries (WithTupleLimit bounds one query); the
+	// query whose allocation crosses it aborts with ErrMemoryLimit.
+	// 0 means no shared budget.
+	SharedTupleLimit int64
 }
 
-// translator builds a statement translator aware of the DB's views.
-func (db *DB) translator() *translate.Translator {
-	return translate.New(db.cat).WithViews(db.views)
+// OpenOption configures Open.
+type OpenOption func(*OpenOptions)
+
+// WithMaxConcurrent bounds how many queries execute at once (default:
+// 8 × GOMAXPROCS; n < 0 disables admission control). Excess queries
+// wait in a FIFO queue — see WithMaxQueued and WithAdmissionWait.
+func WithMaxConcurrent(n int) OpenOption {
+	return func(o *OpenOptions) { o.MaxConcurrent = n }
+}
+
+// WithMaxQueued bounds the admission wait queue (default:
+// 4 × MaxConcurrent). A query arriving at a full queue returns
+// ErrOverloaded immediately — load is shed, not stacked.
+func WithMaxQueued(n int) OpenOption {
+	return func(o *OpenOptions) { o.MaxQueued = n }
+}
+
+// WithAdmissionWait bounds how long a query may wait for an execution
+// slot before it is shed with ErrOverloaded (default: indefinitely).
+func WithAdmissionWait(d time.Duration) OpenOption {
+	return func(o *OpenOptions) { o.AdmissionWait = d }
+}
+
+// WithSharedTupleLimit installs a DB-wide resident-tuple budget shared
+// by all concurrent queries: per-query WithTupleLimit guards still
+// apply, but the sum across in-flight queries may never exceed n — the
+// query whose allocation crosses the line aborts with ErrMemoryLimit
+// (alias ErrTupleLimit), and its charge is released when it finishes.
+func WithSharedTupleLimit(n int64) OpenOption {
+	return func(o *OpenOptions) { o.SharedTupleLimit = n }
+}
+
+// Open creates an empty database. With no options the admission gate
+// admits 8×GOMAXPROCS concurrent queries, queues 4× more, waits
+// without a budget, and installs no shared tuple budget.
+func Open(opts ...OpenOption) *DB {
+	var o OpenOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 8 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueued == 0 && o.MaxConcurrent > 0 {
+		o.MaxQueued = 4 * o.MaxConcurrent
+	}
+	db := &DB{
+		cat:   catalog.New(),
+		views: make(map[string]*sqlparser.SelectStmt),
+		gate:  newGate(o.MaxConcurrent, o.MaxQueued, o.AdmissionWait),
+	}
+	if o.SharedTupleLimit > 0 {
+		db.budget = exec.NewBudget(o.SharedTupleLimit)
+	}
+	return db
+}
+
+// translatorOn builds a statement translator over a catalog view, aware
+// of the DB's views as of now (the map is copied under the view lock so
+// concurrent view DDL cannot tear a running translation).
+func (db *DB) translatorOn(src catalog.Reader) *translate.Translator {
+	db.viewMu.RLock()
+	views := make(map[string]*sqlparser.SelectStmt, len(db.views))
+	for k, v := range db.views {
+		views[k] = v
+	}
+	db.viewMu.RUnlock()
+	return translate.New(src).WithViews(views)
 }
 
 // Views lists the defined view names.
 func (db *DB) Views() []string {
+	db.viewMu.RLock()
 	out := make([]string, 0, len(db.views))
 	for n := range db.views {
 		out = append(out, n)
 	}
+	db.viewMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -146,18 +254,13 @@ func (db *DB) DropTable(name string) error { return db.cat.Drop(name) }
 // Tables lists the defined table names.
 func (db *DB) Tables() []string { return db.cat.Names() }
 
-// Insert appends rows to a table.
+// Insert appends rows to a table. The insert is atomic: either every
+// row commits as one new table version, or (on a type error) none do,
+// and concurrent queries keep reading the previous version throughout.
 func (db *DB) Insert(table string, rows ...[]Value) error {
-	tbl, err := db.cat.Lookup(table)
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		if err := tbl.Insert(row); err != nil {
-			return err
-		}
-	}
-	return nil
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.cat.InsertRows(table, rows...)
 }
 
 // RowCount returns the number of rows in a table.
@@ -327,32 +430,34 @@ func (r *Result) String() string {
 }
 
 // plan builds the optimized plan for a statement under a strategy.
-func (db *DB) plan(sql string, cfg queryConfig) (algebra.Op, []string, error) {
+// Everything — translation, rewriting, cost estimation — reads src, so
+// planning against a Snapshot is immune to concurrent DML.
+func (db *DB) plan(src catalog.Reader, sql string, cfg queryConfig) (algebra.Op, []string, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	canonical, err := db.translator().Translate(stmt)
+	canonical, err := db.translatorOn(src).Translate(stmt)
 	if err != nil {
 		return nil, nil, err
 	}
 	switch cfg.strategy {
 	case Unnested, "":
-		rw := rewrite.New(db.cat, rewrite.AllCaps())
+		rw := rewrite.New(src, rewrite.AllCaps())
 		plan, err := rw.Rewrite(canonical)
 		if err != nil {
 			return nil, nil, err
 		}
 		return plan, rw.Trace, nil
 	case S2:
-		rw := rewrite.New(db.cat, rewrite.Caps{Conjunctive: true, ORExpansion: true, Quantified: true})
+		rw := rewrite.New(src, rewrite.Caps{Conjunctive: true, ORExpansion: true, Quantified: true})
 		plan, err := rw.Rewrite(canonical)
 		if err != nil {
 			return nil, nil, err
 		}
 		return plan, rw.Trace, nil
 	case S3:
-		ro := rewrite.NewReorderer(db.cat)
+		ro := rewrite.NewReorderer(src)
 		plan, err := ro.Rewrite(canonical)
 		if err != nil {
 			return nil, nil, err
@@ -365,7 +470,7 @@ func (db *DB) plan(sql string, cfg queryConfig) (algebra.Op, []string, error) {
 	case Canonical, S1:
 		return canonical, nil, nil
 	case CostBased:
-		return db.planCostBased(canonical)
+		return planCostBased(src, canonical)
 	default:
 		return nil, nil, fmt.Errorf("disqo: unknown strategy %q", cfg.strategy)
 	}
@@ -374,15 +479,15 @@ func (db *DB) plan(sql string, cfg queryConfig) (algebra.Op, []string, error) {
 // planCostBased compares the estimated cost of the canonical plan, the
 // rank-reordered plan, and the fully unnested plan, and returns the
 // cheapest.
-func (db *DB) planCostBased(canonical algebra.Op) (algebra.Op, []string, error) {
-	est := stats.New(db.cat)
+func planCostBased(src catalog.Reader, canonical algebra.Op) (algebra.Op, []string, error) {
+	est := stats.New(src)
 
-	rw := rewrite.New(db.cat, rewrite.AllCaps())
+	rw := rewrite.New(src, rewrite.AllCaps())
 	unnested, err := rw.Rewrite(canonical)
 	if err != nil {
 		return nil, nil, err
 	}
-	ro := rewrite.NewReorderer(db.cat)
+	ro := rewrite.NewReorderer(src)
 	reordered, err := ro.Rewrite(canonical)
 	if err != nil {
 		return nil, nil, err
@@ -412,8 +517,9 @@ func (db *DB) planCostBased(canonical algebra.Op) (algebra.Op, []string, error) 
 	return best.plan, trace, nil
 }
 
-// execOptions maps a strategy to executor options.
-func execOptions(cfg queryConfig) exec.Options {
+// execOptions maps a strategy to executor options, wiring in the DB's
+// shared tuple budget when one is configured.
+func (db *DB) execOptions(cfg queryConfig) exec.Options {
 	opt := exec.Options{
 		Cache:     exec.CacheAll,
 		Timeout:   cfg.timeout,
@@ -423,6 +529,7 @@ func execOptions(cfg queryConfig) exec.Options {
 		Tracer:    cfg.tracer,
 		Ctx:       cfg.ctx,
 		Fault:     cfg.fault,
+		Budget:    db.budget,
 	}
 	switch cfg.strategy {
 	case S1:
@@ -435,13 +542,20 @@ func execOptions(cfg queryConfig) exec.Options {
 	return opt
 }
 
-// Exec runs a DDL or DML statement: CREATE TABLE, DROP TABLE, or INSERT.
-// It returns the number of rows affected (inserted).
+// Exec runs a DDL or DML statement: CREATE/DROP TABLE, CREATE/DROP
+// VIEW, INSERT, UPDATE, or DELETE. It returns the number of rows
+// affected. Statements are serialized with each other (one writer at a
+// time, each a little read-compute-swap transaction) but never block
+// concurrent queries: each statement commits a new table version
+// atomically, and in-flight snapshot readers keep the version they
+// pinned.
 func (db *DB) Exec(sql string) (int, error) {
 	stmt, err := sqlparser.ParseStatement(sql)
 	if err != nil {
 		return 0, err
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	switch x := stmt.(type) {
 	case *sqlparser.CreateTableStmt:
 		cols := make([]Column, len(x.Columns))
@@ -465,11 +579,8 @@ func (db *DB) Exec(sql string) (int, error) {
 	case *sqlparser.DropTableStmt:
 		return 0, db.DropTable(x.Name)
 	case *sqlparser.InsertStmt:
-		tbl, err := db.cat.Lookup(x.Table)
-		if err != nil {
-			return 0, err
-		}
-		for _, row := range x.Rows {
+		rows := make([][]Value, len(x.Rows))
+		for r, row := range x.Rows {
 			vals := make([]Value, len(row))
 			for i, lit := range row {
 				switch v := lit.(type) {
@@ -487,30 +598,35 @@ func (db *DB) Exec(sql string) (int, error) {
 					return 0, fmt.Errorf("disqo: INSERT values must be literals, got %s", lit)
 				}
 			}
-			if err := tbl.Insert(vals); err != nil {
-				return 0, err
-			}
+			rows[r] = vals
 		}
-		return len(x.Rows), nil
+		if err := db.cat.InsertRows(x.Table, rows...); err != nil {
+			return 0, err
+		}
+		return len(rows), nil
 	case *sqlparser.CreateViewStmt:
 		key := strings.ToLower(x.Name)
 		if _, err := db.cat.Lookup(key); err == nil {
 			return 0, fmt.Errorf("disqo: a table named %q already exists", x.Name)
 		}
-		if _, dup := db.views[key]; dup {
+		db.viewMu.RLock()
+		_, dup := db.views[key]
+		db.viewMu.RUnlock()
+		if dup {
 			return 0, fmt.Errorf("disqo: view %q already exists", x.Name)
 		}
 		// Validate the body now so a broken view fails at definition time.
-		probe := Open()
-		probe.cat = db.cat
-		probe.views = db.views
-		if _, err := probe.translator().Translate(x.Body); err != nil {
+		if _, err := db.translatorOn(db.cat.Snapshot()).Translate(x.Body); err != nil {
 			return 0, fmt.Errorf("disqo: invalid view body: %w", err)
 		}
+		db.viewMu.Lock()
 		db.views[key] = x.Body
+		db.viewMu.Unlock()
 		return 0, nil
 	case *sqlparser.DropViewStmt:
 		key := strings.ToLower(x.Name)
+		db.viewMu.Lock()
+		defer db.viewMu.Unlock()
 		if _, ok := db.views[key]; !ok {
 			return 0, fmt.Errorf("disqo: no view %q", x.Name)
 		}
@@ -530,22 +646,24 @@ func (db *DB) Exec(sql string) (int, error) {
 // matchingRows evaluates a WHERE predicate over one table by running the
 // equivalent SELECT through the full optimizer (so subqueries in DML
 // predicates are unnested too) and returns the set of matching tuples.
-func (db *DB) matchingRows(table string, where sqlparser.Expr) (map[uint64][][]Value, error) {
+// It reads src — the pre-image snapshot of the statement being executed.
+func (db *DB) matchingRows(src catalog.Reader, table string, where sqlparser.Expr) (map[uint64][][]Value, error) {
 	sel := &sqlparser.SelectStmt{
 		Star:  true,
 		From:  []sqlparser.TableRef{{Table: table}},
 		Where: where,
 	}
-	plan, err := db.translator().Translate(sel)
+	plan, err := db.translatorOn(src).Translate(sel)
 	if err != nil {
 		return nil, err
 	}
-	rw := rewrite.New(db.cat, rewrite.AllCaps())
+	rw := rewrite.New(src, rewrite.AllCaps())
 	plan, err = rw.Rewrite(plan)
 	if err != nil {
 		return nil, err
 	}
-	ex := exec.New(db.cat, exec.Options{Cache: exec.CacheAll})
+	ex := exec.New(src, exec.Options{Cache: exec.CacheAll, Budget: db.budget})
+	defer ex.Close()
 	rel, err := ex.Run(plan)
 	if err != nil {
 		return nil, err
@@ -570,23 +688,23 @@ func rowMatches(set map[uint64][][]Value, row []Value) bool {
 // execDelete removes the rows satisfying the predicate. Matching is
 // value-based (the relation is a bag): identical duplicates live or die
 // together, which coincides with SQL's semantics for a value-based
-// predicate.
+// predicate. The caller holds writeMu; the kept row set is computed
+// against the stable pre-image and committed as one new table version.
 func (db *DB) execDelete(x *sqlparser.DeleteStmt) (int, error) {
-	tbl, err := db.cat.Lookup(x.Table)
+	snap := db.cat.Snapshot()
+	tbl, err := snap.Lookup(x.Table)
 	if err != nil {
 		return 0, err
 	}
 	if x.Where == nil {
 		n := tbl.Rel.Cardinality()
-		tbl.Rel.Tuples = nil
-		tbl.BulkLoad(nil) // refresh statistics
-		return n, nil
+		return n, db.cat.ReplaceRows(x.Table, nil)
 	}
-	matching, err := db.matchingRows(x.Table, x.Where)
+	matching, err := db.matchingRows(snap, x.Table, x.Where)
 	if err != nil {
 		return 0, err
 	}
-	kept := tbl.Rel.Tuples[:0:0]
+	kept := make([][]Value, 0, len(tbl.Rel.Tuples))
 	deleted := 0
 	for _, row := range tbl.Rel.Tuples {
 		if rowMatches(matching, row) {
@@ -595,15 +713,20 @@ func (db *DB) execDelete(x *sqlparser.DeleteStmt) (int, error) {
 		}
 		kept = append(kept, row)
 	}
-	tbl.Rel.Tuples = kept
-	tbl.BulkLoad(nil) // refresh statistics
-	return deleted, nil
+	if deleted == 0 {
+		return 0, nil
+	}
+	return deleted, db.cat.ReplaceRows(x.Table, kept)
 }
 
 // execUpdate rewrites the rows satisfying the predicate, evaluating SET
-// expressions against the pre-update row (standard SQL semantics).
+// expressions against the pre-update row (standard SQL semantics). The
+// caller holds writeMu; the new row set is computed in full against the
+// stable pre-image before the single atomic commit, so concurrent
+// snapshot readers see either every change or none.
 func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
-	tbl, err := db.cat.Lookup(x.Table)
+	snap := db.cat.Snapshot()
+	tbl, err := snap.Lookup(x.Table)
 	if err != nil {
 		return 0, err
 	}
@@ -623,7 +746,7 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 			return 0, fmt.Errorf("disqo: no column %q in %s", a.Column, x.Table)
 		}
 		colIdx[i] = idx
-		ve, err := db.translator().TranslateTableExpr(x.Table, a.Value)
+		ve, err := db.translatorOn(snap).TranslateTableExpr(x.Table, a.Value)
 		if err != nil {
 			return 0, err
 		}
@@ -632,12 +755,13 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 
 	var matching map[uint64][][]Value
 	if x.Where != nil {
-		matching, err = db.matchingRows(x.Table, x.Where)
+		matching, err = db.matchingRows(snap, x.Table, x.Where)
 		if err != nil {
 			return 0, err
 		}
 	}
-	ex := exec.New(db.cat, exec.Options{Cache: exec.CacheAll})
+	ex := exec.New(snap, exec.Options{Cache: exec.CacheAll, Budget: db.budget})
+	defer ex.Close()
 	updated := 0
 	newRows := make([][]Value, len(tbl.Rel.Tuples))
 	for i, row := range tbl.Rel.Tuples {
@@ -650,32 +774,41 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 		for k, ve := range valExprs {
 			v, err := ex.EvalExpr(ve, env)
 			if err != nil {
-				return updated, err
+				return 0, err // nothing committed: the statement aborts whole
 			}
 			next[colIdx[k]] = v
 		}
 		newRows[i] = next
 		updated++
 	}
-	tbl.Rel.Tuples = newRows
-	tbl.BulkLoad(nil) // refresh statistics
-	return updated, nil
+	if updated == 0 {
+		return 0, nil
+	}
+	return updated, db.cat.ReplaceRows(x.Table, newRows)
 }
 
-// Query parses, optimizes and executes a SQL statement. Execution
-// failures — timeout, tuple budget, cancellation, a recovered panic —
-// are returned as a *QueryError; parse and planning errors are not
-// wrapped.
+// Query parses, optimizes and executes a SQL statement. The query plans
+// and runs against an immutable catalog snapshot pinned on admission, so
+// its result reflects exactly one committed state no matter how much DML
+// commits while it runs. Execution failures — timeout, tuple budget,
+// cancellation, admission shedding, a recovered panic — are returned as
+// a *QueryError; parse and planning errors are not wrapped.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	cfg := queryConfig{strategy: Unnested}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	plan, trace, err := db.plan(sql, cfg)
+	if err := db.gate.acquire(cfg.ctx); err != nil {
+		return nil, wrapQueryError(sql, cfg, 0, err)
+	}
+	defer db.gate.release()
+	snap := db.cat.Snapshot()
+	plan, trace, err := db.plan(snap, sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ex := exec.New(db.cat, execOptions(cfg))
+	ex := exec.New(snap, db.execOptions(cfg))
+	defer ex.Close()
 	start := time.Now()
 	rel, err := ex.Run(plan)
 	if err != nil {
@@ -729,11 +862,17 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 		o(&cfg)
 	}
 	cfg.metrics = true
-	plan, trace, err := db.plan(sql, cfg)
+	if err := db.gate.acquire(cfg.ctx); err != nil {
+		return "", wrapQueryError(sql, cfg, 0, err)
+	}
+	defer db.gate.release()
+	snap := db.cat.Snapshot()
+	plan, trace, err := db.plan(snap, sql, cfg)
 	if err != nil {
 		return "", err
 	}
-	ex := exec.New(db.cat, execOptions(cfg))
+	ex := exec.New(snap, db.execOptions(cfg))
+	defer ex.Close()
 	start := time.Now()
 	rel, err := ex.Run(plan)
 	if err != nil {
@@ -786,11 +925,12 @@ func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	canonical, err := db.translator().Translate(stmt)
+	snap := db.cat.Snapshot()
+	canonical, err := db.translatorOn(snap).Translate(stmt)
 	if err != nil {
 		return "", err
 	}
-	plan, trace, err := db.plan(sql, cfg)
+	plan, trace, err := db.plan(snap, sql, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -800,13 +940,13 @@ func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 	b.WriteString("== canonical plan ==\n")
 	b.WriteString(algebra.Explain(canonical))
 	if cfg.strategy != Canonical && cfg.strategy != S1 {
-		est := stats.New(db.cat)
+		est := stats.New(snap)
 		b.WriteString("\n== optimized plan ==\n")
 		b.WriteString(algebra.ExplainAnnotated(plan, func(op algebra.Op) string {
 			return fmt.Sprintf("(est %.0f rows)", est.Cardinality(op))
 		}))
 	}
-	phys, err := physical.NewPlanner(stats.New(db.cat)).Lower(plan)
+	phys, err := physical.NewPlanner(stats.New(snap)).Lower(plan)
 	if err != nil {
 		return "", err
 	}

@@ -9,6 +9,26 @@ import (
 	"disqo/internal/exec"
 )
 
+// ErrOverloaded is returned (wrapped in a *QueryError) when the
+// admission gate sheds a query: the concurrent-query limit is reached,
+// the FIFO wait queue is full, or the wait budget (WithAdmissionWait)
+// expired before a slot opened. It signals transient overload, not a
+// broken query — callers should back off and retry:
+//
+//	res, err := db.Query(sql)
+//	for errors.Is(err, disqo.ErrOverloaded) {
+//		time.Sleep(backoff())
+//		res, err = db.Query(sql)
+//	}
+var ErrOverloaded = errors.New("disqo: overloaded, too many concurrent queries")
+
+// ErrTupleLimit is the documented alias DESIGN.md uses for
+// ErrMemoryLimit: the error returned when a query materializes more
+// tuples than its WithTupleLimit budget (or the DB-wide
+// WithSharedTupleLimit budget) allows. errors.Is(err, ErrTupleLimit)
+// and errors.Is(err, ErrMemoryLimit) are interchangeable.
+var ErrTupleLimit = exec.ErrMemoryLimit
+
 // PanicError is a panic recovered inside the executor (bad tuple,
 // operator bug, injected fault) and converted to an error; Stack holds
 // the goroutine stack captured at the recovery point. It always arrives

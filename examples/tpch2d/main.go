@@ -57,6 +57,12 @@ func main() {
 		case errors.Is(err, disqo.ErrTimeout):
 			fmt.Printf("%-10s n/a (exceeded %s — the paper's six-hour cutoff in miniature)\n", strategy, timeout)
 			continue
+		case errors.Is(err, disqo.ErrOverloaded):
+			fmt.Printf("%-10s shed (admission gate: transient overload, retry)\n", strategy)
+			continue
+		case errors.Is(err, disqo.ErrTupleLimit):
+			fmt.Printf("%-10s mem (tuple budget exhausted)\n", strategy)
+			continue
 		case err != nil:
 			log.Fatalf("%s: %v", strategy, err)
 		}

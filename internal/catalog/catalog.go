@@ -1,7 +1,20 @@
 // Package catalog tracks the database schema: table definitions, their
 // column types, and base-table statistics the cost model consumes. The
-// executor resolves table names against a Catalog to find the stored
-// relations.
+// executor resolves table names against a Catalog (or one of its
+// Snapshots) to find the stored relations.
+//
+// Concurrency model: a Catalog is safe for concurrent use. Published
+// *Table values are immutable — every mutation (Create, Drop,
+// InsertRows, ReplaceRows) builds a new table version copy-on-write and
+// atomically swaps it into the map under the catalog RWMutex. Readers
+// that need a consistent multi-table view call Snapshot, which pins the
+// current version set without blocking subsequent writers: a query
+// planning and executing against a Snapshot can never observe a torn
+// write, and DML never waits for a slow reader to finish.
+//
+// The builder-path methods Table.Insert and Table.BulkLoad mutate a
+// table in place and are reserved for setup-time loaders (datagen)
+// populating freshly created tables before the catalog is shared.
 package catalog
 
 import (
@@ -20,7 +33,12 @@ type Column struct {
 	Type types.Kind
 }
 
-// Table is a named base relation plus its maintained statistics.
+// Table is a named base relation plus its maintained statistics. Once a
+// table version is published in a Catalog it is immutable: mutations go
+// through the Catalog's copy-on-write methods, which swap in a fresh
+// *Table. The lazily computed stats cache is the only mutable state and
+// is guarded by its own mutex, so concurrent snapshot readers may share
+// one version freely.
 type Table struct {
 	Name    string
 	Columns []Column
@@ -39,10 +57,23 @@ type TableStats struct {
 	Min, Max map[string]float64 // numeric columns only
 }
 
-// Catalog is the set of defined tables. It is not safe for concurrent
-// mutation; the public API layer serializes DDL.
+// Reader resolves table names to table versions. It is implemented by
+// the live *Catalog (always the latest committed state) and by
+// *Snapshot (one pinned version set); the planner, estimator,
+// translator, and executor all work against this interface so a whole
+// query can run off one immutable snapshot.
+type Reader interface {
+	Lookup(name string) (*Table, error)
+	Names() []string
+}
+
+// Catalog is the set of defined tables. All methods are safe for
+// concurrent use: reads take the read lock, mutations build new table
+// versions copy-on-write and swap them in under the write lock.
 type Catalog struct {
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version uint64
 }
 
 // New returns an empty catalog.
@@ -60,9 +91,6 @@ func qualify(table, col string) string {
 // Create defines a new table with the given columns and an empty heap.
 func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
 	key := strings.ToLower(name)
-	if _, exists := c.tables[key]; exists {
-		return nil, fmt.Errorf("catalog: table %q already exists", name)
-	}
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("catalog: table %q needs at least one column", name)
 	}
@@ -81,23 +109,37 @@ func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
 		Columns: cols,
 		Rel:     storage.NewRelation(storage.NewSchema(attrs...)),
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
 	c.tables[key] = t
+	c.version++
 	return t, nil
 }
 
-// Drop removes a table.
+// Drop removes a table. Snapshots pinned before the drop keep resolving
+// the old version.
 func (c *Catalog) Drop(name string) error {
 	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[key]; !ok {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, key)
+	c.version++
 	return nil
 }
 
-// Lookup returns the table or an error naming it.
+// Lookup returns the latest committed version of the table, or an error
+// naming it.
 func (c *Catalog) Lookup(name string) (*Table, error) {
-	if t, ok := c.tables[strings.ToLower(name)]; ok {
+	c.mu.RLock()
+	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
+	if ok {
 		return t, nil
 	}
 	return nil, fmt.Errorf("catalog: no table %q", name)
@@ -105,17 +147,71 @@ func (c *Catalog) Lookup(name string) (*Table, error) {
 
 // Names returns the defined table names, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
+		out = append(out, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Version returns the commit counter: it advances on every successful
+// mutation, so two snapshots with equal versions hold identical states.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Snapshot pins the current version set: an immutable, consistent view
+// of every table as of one commit boundary. Taking a snapshot is O(#
+// tables) — it copies the name map, not any data — and never blocks
+// writers beyond the map copy itself.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tables := make(map[string]*Table, len(c.tables))
+	for k, v := range c.tables {
+		tables[k] = v
+	}
+	return &Snapshot{tables: tables, version: c.version}
+}
+
+// Snapshot is an immutable view of a catalog as of one commit boundary.
+// It implements Reader, so planning and execution can run entirely
+// against it: concurrent DML on the live catalog swaps in new table
+// versions without disturbing the pinned ones.
+type Snapshot struct {
+	tables  map[string]*Table
+	version uint64
+}
+
+// Lookup returns the pinned version of the table.
+func (s *Snapshot) Lookup(name string) (*Table, error) {
+	if t, ok := s.tables[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("catalog: no table %q", name)
+}
+
+// Names returns the snapshot's table names, sorted.
+func (s *Snapshot) Names() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Insert appends a row after arity and type checking. NULL is accepted in
-// any column (the paper's schemas are nullable throughout).
-func (t *Table) Insert(row []types.Value) error {
+// Version identifies the commit this snapshot pinned.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// checkRow validates one row against the table's column types. NULL is
+// accepted in any column (the paper's schemas are nullable throughout).
+func (t *Table) checkRow(row []types.Value) error {
 	if len(row) != len(t.Columns) {
 		return fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
 	}
@@ -129,21 +225,84 @@ func (t *Table) Insert(row []types.Value) error {
 				t.Name, t.Columns[i].Name, t.Columns[i].Type, v.Kind())
 		}
 	}
+	return nil
+}
+
+// withRows builds the next version of a table: same name, columns, and
+// schema over a new tuple set, with statistics recomputed lazily on
+// first use.
+func (t *Table) withRows(tuples [][]types.Value) *Table {
+	return &Table{
+		Name:    t.Name,
+		Columns: t.Columns,
+		Rel:     &storage.Relation{Schema: t.Rel.Schema, Tuples: tuples},
+	}
+}
+
+// InsertRows appends rows to a table copy-on-write: after arity and
+// type checking, a new table version with a fresh tuple slice is
+// swapped in atomically. In-flight snapshot readers keep the previous
+// version; either all rows commit or none do.
+func (c *Catalog) InsertRows(name string, rows ...[]types.Value) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	for _, row := range rows {
+		if err := t.checkRow(row); err != nil {
+			return err
+		}
+	}
+	c.tables[key] = t.withRows(t.Rel.CloneAppend(rows...).Tuples)
+	c.version++
+	return nil
+}
+
+// ReplaceRows swaps in a new tuple set for the table — the commit step
+// of UPDATE and DELETE, whose new row sets are computed by the caller
+// against a consistent pre-image. The caller must not retain or mutate
+// the slice afterwards.
+func (c *Catalog) ReplaceRows(name string, tuples [][]types.Value) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	c.tables[key] = t.withRows(tuples)
+	c.version++
+	return nil
+}
+
+// Insert appends a row in place after arity and type checking. Builder
+// path: only for tables not yet visible to concurrent readers (setup
+// code, single-threaded tests); concurrent mutation goes through
+// Catalog.InsertRows.
+func (t *Table) Insert(row []types.Value) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
 	t.Rel.Append(row)
 	t.statsDirty = true
 	return nil
 }
 
-// BulkLoad appends rows without per-row type checking — the data
-// generators produce well-typed rows and load millions of them.
+// BulkLoad appends rows in place without per-row type checking — the
+// data generators produce well-typed rows and load millions of them.
+// Builder path: see Insert.
 func (t *Table) BulkLoad(rows [][]types.Value) {
 	t.Rel.Tuples = append(t.Rel.Tuples, rows...)
 	t.statsDirty = true
 }
 
 // Stats returns (computing lazily and caching) the table statistics. It
-// is safe for concurrent readers; writers (Insert/BulkLoad) must not run
-// concurrently with queries.
+// is safe for any number of concurrent readers: published table
+// versions are immutable, so the computation always sees a stable
+// relation.
 func (t *Table) Stats() *TableStats {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()

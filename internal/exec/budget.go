@@ -1,0 +1,38 @@
+package exec
+
+import "sync/atomic"
+
+// Budget is a DB-wide resident-tuple budget shared by every concurrent
+// query of one database. Options.MaxTuples bounds a single query's
+// footprint; a Budget bounds the sum: each executor charges the tuples
+// it pins (memoized results, audited in-flight operator outputs)
+// against the shared counter and releases its whole charge when the
+// query finishes (Executor.Close). The query whose allocation crosses
+// the limit aborts with ErrMemoryLimit — the same classified, retryable
+// path as the per-query bound — so N concurrent heavy queries degrade
+// into individual aborts instead of multiplying the process footprint.
+type Budget struct {
+	limit    int64
+	resident atomic.Int64
+}
+
+// NewBudget returns a budget allowing up to limit simultaneously
+// resident tuples across all queries; limit <= 0 means unlimited (nil
+// is also accepted everywhere a *Budget flows).
+func NewBudget(limit int64) *Budget {
+	return &Budget{limit: limit}
+}
+
+// Limit returns the configured bound (<= 0 means unlimited).
+func (b *Budget) Limit() int64 { return b.limit }
+
+// Resident returns the tuples currently charged by in-flight queries.
+func (b *Budget) Resident() int64 { return b.resident.Load() }
+
+// charge adds n resident tuples (n may be negative on release).
+func (b *Budget) charge(n int64) { b.resident.Add(n) }
+
+// over reports whether adding pending tuples would exceed the limit.
+func (b *Budget) over(pending int64) bool {
+	return b.limit > 0 && b.resident.Load()+pending > b.limit
+}

@@ -1,0 +1,38 @@
+package exec
+
+import "testing"
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(100)
+	if b.Limit() != 100 {
+		t.Fatalf("Limit = %d, want 100", b.Limit())
+	}
+	if b.over(100) {
+		t.Fatal("allocation exactly at the limit must be admitted")
+	}
+	if !b.over(101) {
+		t.Fatal("allocation past the limit must be rejected")
+	}
+	b.charge(40)
+	if got := b.Resident(); got != 40 {
+		t.Fatalf("Resident = %d, want 40", got)
+	}
+	if b.over(60) {
+		t.Fatal("40 resident + 60 pending = limit, must be admitted")
+	}
+	if !b.over(61) {
+		t.Fatal("40 resident + 61 pending exceeds the limit")
+	}
+	b.charge(-40)
+	if got := b.Resident(); got != 0 {
+		t.Fatalf("Resident after release = %d, want 0", got)
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	b.charge(1 << 40)
+	if b.over(1 << 40) {
+		t.Fatal("a zero-limit budget must never reject")
+	}
+}

@@ -87,6 +87,11 @@ type Options struct {
 	// boundaries, and memo fills. nil disables injection; the disabled
 	// path costs one branch per visit.
 	Fault *faultinject.Injector
+	// Budget, when set, charges this query's resident tuples against a
+	// DB-wide budget shared with every concurrent query; crossing the
+	// shared limit aborts with ErrMemoryLimit. The charge is released by
+	// Executor.Close. nil disables shared accounting.
+	Budget *Budget
 }
 
 // Stats counts work done by one execution, letting tests and benchmarks
@@ -138,7 +143,7 @@ func (s *Stats) merge(o *Stats) {
 // parallel regions share both through sharedState and keep private
 // Stats shards.
 type Executor struct {
-	cat     *catalog.Catalog
+	cat     catalog.Reader
 	opt     Options
 	stats   Stats
 	planner *physical.Planner
@@ -180,12 +185,22 @@ type sharedState struct {
 	peak     atomic.Int64 // high-water mark of resident (+ in-flight) tuples
 	aborted  atomic.Bool  // latch polled by every worker's tick
 	abortErr error        // first fatal error; guarded by mu
+
+	// budget is the optional DB-wide resident-tuple budget shared with
+	// concurrent queries; closed latches the one-time release of this
+	// executor's charge (Executor.Close).
+	budget *Budget
+	closed atomic.Bool
 }
 
-// pin accounts tuples added to the memo and raises the high-water mark.
+// pin accounts tuples added to the memo and raises the high-water mark,
+// charging the shared budget too when one is attached.
 func (sh *sharedState) pin(n int64) {
 	r := sh.resident.Add(n)
 	sh.raisePeak(r)
+	if sh.budget != nil {
+		sh.budget.charge(n)
+	}
 }
 
 func (sh *sharedState) raisePeak(r int64) {
@@ -203,8 +218,9 @@ type memoKey struct {
 	side uint8
 }
 
-// New returns an executor over the catalog.
-func New(cat *catalog.Catalog, opt Options) *Executor {
+// New returns an executor over a catalog view — the live *catalog.Catalog
+// or, for snapshot-isolated queries, a pinned *catalog.Snapshot.
+func New(cat catalog.Reader, opt Options) *Executor {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -212,6 +228,7 @@ func New(cat *catalog.Catalog, opt Options) *Executor {
 		memo:       make(map[memoKey]*storage.Relation),
 		flight:     make(map[memoKey]bool),
 		correlated: make(map[algebra.Op]bool),
+		budget:     opt.Budget,
 	}
 	sh.flightDone = sync.NewCond(&sh.mu)
 	return &Executor{
@@ -224,6 +241,20 @@ func New(cat *catalog.Catalog, opt Options) *Executor {
 
 // Stats returns the work counters accumulated so far.
 func (ex *Executor) Stats() Stats { return ex.stats }
+
+// Close releases the executor's charge against the shared DB-wide
+// budget (Options.Budget). Idempotent and safe on executors without a
+// budget; call it once the query's result has been consumed so the next
+// query's allocation sees the freed headroom. The executor must not Run
+// again after Close.
+func (ex *Executor) Close() {
+	if ex.sh.budget == nil {
+		return
+	}
+	if ex.sh.closed.CompareAndSwap(false, true) {
+		ex.sh.budget.charge(-ex.sh.resident.Load())
+	}
+}
 
 // Plan lowers a logical plan through the executor's physical planner
 // without running it — the physical tree Run would evaluate.
@@ -374,17 +405,24 @@ func (sh *sharedState) clearAbort() {
 	sh.aborted.Store(false)
 }
 
-// checkBudget enforces the tuple budget against rows pending inside a
+// checkBudget enforces the tuple budgets against rows pending inside a
 // long-running operator, so a single quadratic join cannot exhaust
 // memory before returning. The observed total also feeds the
-// Stats.PeakTuples high-water mark, so the limit is auditable.
+// Stats.PeakTuples high-water mark, so the limits are auditable. Two
+// bounds apply: the per-query Options.MaxTuples, and the DB-wide
+// Options.Budget shared with concurrent queries — whichever trips
+// first aborts this query with ErrMemoryLimit.
 func (ex *Executor) checkBudget(pending int) error {
-	if ex.opt.MaxTuples > 0 {
-		total := ex.sh.resident.Load() + int64(pending)
+	pend := int64(pending)
+	if ex.opt.MaxTuples > 0 || ex.sh.budget != nil {
+		total := ex.sh.resident.Load() + pend
 		ex.sh.raisePeak(total)
-		if total > ex.opt.MaxTuples {
+		if ex.opt.MaxTuples > 0 && total > ex.opt.MaxTuples {
 			return ex.fail(ErrMemoryLimit)
 		}
+	}
+	if b := ex.sh.budget; b != nil && b.over(pend) {
+		return ex.fail(ErrMemoryLimit)
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"disqo"
+)
+
+// ConcurrencySweep measures multi-session scaling: Q1 (unnested) on RST
+// 10×10 (scaled by RSTScale), with `sessions` goroutines issuing the
+// query simultaneously, once per (workers × sessions) grid point. Each
+// cell records the wall-clock time for ALL sessions to finish — the
+// batch completion time a saturated server cares about — and the
+// per-query row count. Every session's result set must be byte-identical
+// to the single-session baseline (the snapshot-isolation and morsel
+// determinism guarantees combined); a mismatch is an error, not a cell.
+//
+// The DB runs with its default admission gate. A query the gate sheds
+// (ErrOverloaded) marks the cell aborted, the same classification the
+// timing experiments use for external cancellation: shedding says the
+// grid point overloads this host, not that the query is wrong.
+func ConcurrencySweep(cfg Config, workers, sessions []int, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(workers) == 0 {
+		workers = []int{1, 2}
+	}
+	if len(sessions) == 0 {
+		sessions = []int{1, 4, 8}
+	}
+	db := disqo.Open()
+	sf := 10 * cfg.RSTScale
+	if err := db.LoadRST(sf, sf, sf); err != nil {
+		return nil, err
+	}
+	tab := newTable("concurrency",
+		fmt.Sprintf("Q1 unnested on RST 10x10 (scale %g): concurrent sessions × per-query workers", cfg.RSTScale),
+		nil)
+
+	// Single-session baseline fingerprint for the identity check.
+	base, err := db.Query(Q1, disqo.WithStrategy(disqo.Unnested), disqo.WithTupleLimit(cfg.MaxTuples))
+	if err != nil {
+		return nil, fmt.Errorf("harness: concurrency baseline: %w", err)
+	}
+	baseline := canonicalRows(base)
+
+	for _, w := range workers {
+		row := disqo.Strategy(fmt.Sprintf("w=%d", w))
+		for _, s := range sessions {
+			if progress != nil {
+				progress(fmt.Sprintf("concurrency w=%d s=%d", w, s))
+			}
+			cell, canons := runSessions(db, w, s, cfg)
+			for i, canon := range canons {
+				if canon != nil && !sameRows(baseline, canon) {
+					return nil, fmt.Errorf("harness: session %d (w=%d s=%d) changed the result set", i, w, s)
+				}
+			}
+			tab.set(row, fmt.Sprintf("s=%d", s), cell)
+		}
+	}
+	return tab, nil
+}
+
+// runSessions launches n concurrent sessions of Q1 and returns the batch
+// cell plus each session's canonical rows (nil for a shed session).
+func runSessions(db *disqo.DB, workers, n int, cfg Config) (Cell, [][]string) {
+	best := Cell{Seconds: math.Inf(1)}
+	canons := make([][]string, n)
+	for rep := 0; rep < cfg.Repeat; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		rows := make([]int, n)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				opts := []disqo.Option{disqo.WithStrategy(disqo.Unnested),
+					disqo.WithTupleLimit(cfg.MaxTuples), disqo.WithWorkers(workers)}
+				if cfg.Timeout > 0 {
+					opts = append(opts, disqo.WithTimeout(cfg.Timeout))
+				}
+				if cfg.Ctx != nil {
+					opts = append(opts, disqo.WithContext(cfg.Ctx))
+				}
+				res, err := db.Query(Q1, opts...)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				rows[i] = len(res.Rows)
+				canons[i] = canonicalRows(res)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				// Classify on the first failure, same scheme as measure().
+				return classifyCell(err), canons
+			}
+		}
+		if elapsed < best.Seconds {
+			best = Cell{Seconds: elapsed, Rows: rows[0]}
+		}
+	}
+	return best, canons
+}

@@ -271,17 +271,7 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		res, err := db.Query(sql, opts...)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
-			// The engine wraps execution failures in *disqo.QueryError,
-			// so classification must follow the unwrap chain.
-			switch {
-			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-				return Cell{Aborted: true, Err: err}
-			case errors.Is(err, disqo.ErrTimeout):
-				return Cell{TimedOut: true}
-			case errors.Is(err, disqo.ErrMemoryLimit):
-				return Cell{OverMem: true}
-			}
-			return Cell{Err: err}
+			return classifyCell(err)
 		}
 		if elapsed < best.Seconds {
 			best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
@@ -291,6 +281,25 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		best.Ops = opBreakdown(db, sql, s, cfg)
 	}
 	return best
+}
+
+// classifyCell maps a query failure to a cell. The engine wraps
+// execution failures in *disqo.QueryError, so classification must follow
+// the unwrap chain. Admission shedding (ErrOverloaded) is transient
+// back-pressure, not a property of the query, so it records the cell
+// aborted — like external cancellation — rather than failed.
+func classifyCell(err error) Cell {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return Cell{Aborted: true, Err: err}
+	case errors.Is(err, disqo.ErrOverloaded):
+		return Cell{Aborted: true, Err: err}
+	case errors.Is(err, disqo.ErrTimeout):
+		return Cell{TimedOut: true}
+	case errors.Is(err, disqo.ErrMemoryLimit):
+		return Cell{OverMem: true}
+	}
+	return Cell{Err: err}
 }
 
 // opBreakdown runs the query once more with metrics enabled and
@@ -495,7 +504,7 @@ func sameRows(a, b []string) bool {
 }
 
 // Experiment names in presentation order.
-var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers"}
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency"}
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config, progress func(string)) (*Table, error) {
@@ -516,6 +525,8 @@ func Run(id string, cfg Config, progress func(string)) (*Table, error) {
 		return Ablation(cfg, progress)
 	case "workers":
 		return WorkerSweep(cfg, nil, progress)
+	case "concurrency":
+		return ConcurrencySweep(cfg, nil, nil, progress)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Order, ", "))
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -179,6 +180,44 @@ func TestAblationRuns(t *testing.T) {
 			} else if rows != c.Rows {
 				t.Errorf("%s/%s rows = %d, others %d", s, p, c.Rows, rows)
 			}
+		}
+	}
+}
+
+// TestClassifyCellOverloaded pins the admission-shedding contract: a
+// query the gate sheds is recorded aborted (transient back-pressure),
+// never as a failed cell.
+func TestClassifyCellOverloaded(t *testing.T) {
+	c := classifyCell(fmt.Errorf("query wrapper: %w", disqo.ErrOverloaded))
+	if !c.Aborted {
+		t.Fatal("ErrOverloaded must classify as Aborted")
+	}
+	if c.TimedOut || c.OverMem || c.Err == nil {
+		t.Fatalf("unexpected classification: %+v", c)
+	}
+}
+
+// TestConcurrencySweepTiny smoke-tests the concurrency experiment: a
+// 1×2 grid must produce cells with verified-identical results.
+func TestConcurrencySweepTiny(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := ConcurrencySweep(cfg, []int{1}, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Params) != 2 {
+		t.Fatalf("params = %v, want [s=1 s=2]", tab.Params)
+	}
+	for _, p := range tab.Params {
+		c, ok := tab.Cells[disqo.Strategy("w=1")][p]
+		if !ok {
+			t.Fatalf("missing cell for %s", p)
+		}
+		if c.Err != nil || c.Aborted || c.TimedOut || c.OverMem {
+			t.Fatalf("cell %s not clean: %+v", p, c)
+		}
+		if c.Rows == 0 {
+			t.Fatalf("cell %s returned no rows", p)
 		}
 	}
 }

@@ -20,8 +20,8 @@ type Reorderer struct {
 }
 
 // NewReorderer returns a predicate reorderer over the catalog's
-// statistics.
-func NewReorderer(cat *catalog.Catalog) *Reorderer {
+// statistics; cat may be the live catalog or a pinned snapshot.
+func NewReorderer(cat catalog.Reader) *Reorderer {
 	return &Reorderer{est: stats.New(cat)}
 }
 

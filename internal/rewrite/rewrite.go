@@ -76,8 +76,8 @@ type Rewriter struct {
 }
 
 // New returns a Rewriter using catalog statistics for its cost-based
-// decisions.
-func New(cat *catalog.Catalog, caps Caps) *Rewriter {
+// decisions; cat may be the live catalog or a pinned snapshot.
+func New(cat catalog.Reader, caps Caps) *Rewriter {
 	return &Rewriter{est: stats.New(cat), caps: caps, memo: make(map[algebra.Op]algebra.Op)}
 }
 

@@ -35,11 +35,12 @@ const (
 
 // Estimator derives estimates from catalog statistics.
 type Estimator struct {
-	cat *catalog.Catalog
+	cat catalog.Reader
 }
 
-// New returns an estimator over the catalog.
-func New(cat *catalog.Catalog) *Estimator {
+// New returns an estimator over a catalog view — the live catalog or a
+// pinned snapshot, so estimates and execution can share one version.
+func New(cat catalog.Reader) *Estimator {
 	return &Estimator{cat: cat}
 }
 

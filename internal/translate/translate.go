@@ -23,15 +23,16 @@ import (
 // must be used per statement: it disambiguates repeated range-variable
 // names across blocks.
 type Translator struct {
-	cat   *catalog.Catalog
+	cat   catalog.Reader
 	used  map[string]bool // range-variable qualifiers in use
 	views map[string]*sqlparser.SelectStmt
 	// expanding guards against recursive view definitions.
 	expanding map[string]bool
 }
 
-// New returns a Translator for the catalog.
-func New(cat *catalog.Catalog) *Translator {
+// New returns a Translator for a catalog view (live catalog or pinned
+// snapshot).
+func New(cat catalog.Reader) *Translator {
 	return &Translator{cat: cat, used: make(map[string]bool), expanding: make(map[string]bool)}
 }
 

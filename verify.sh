@@ -4,7 +4,10 @@
 # benchmark code and instrumentation regressions without paying for a
 # real measurement run), the robustness suite under -race (fault
 # injection across the golden plans, cancellation stress, panic
-# recovery), and a 10-second smoke of each native fuzz target.
+# recovery), the concurrency stress suite (snapshot isolation, admission
+# control, shared budget, mixed read/write/DDL stress) under -race, a
+# tiny run of the concurrency session sweep through cmd/bench -json, and
+# a 10-second smoke of each native fuzz target.
 set -eux
 
 go build ./...
@@ -13,5 +16,7 @@ go vet ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run '^$' ./...
 go test -race -run 'TestChaos|TestCancellation|TestQueryContext|TestPanicRecovery' .
+go test -race -run 'TestGate|TestAdmission|TestSnapshotIsolation|TestStressMixed|TestConcurrentInserts|TestSharedTupleBudget' .
+go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeout 30s -q -json "$(mktemp -d)"
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
 go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .

@@ -34,7 +34,9 @@ func benchDB(b *testing.B, key string, load func(*disqo.DB) error) *disqo.DB {
 	if db, ok := benchDBs[key]; ok {
 		return db
 	}
-	db := disqo.Open()
+	// Benchmarks time executions, so the shared DBs run cache-cold —
+	// b.N iterations of one query must not collapse into warm hits.
+	db := disqo.Open(disqo.WithoutCache())
 	if err := load(db); err != nil {
 		b.Fatal(err)
 	}

@@ -34,7 +34,14 @@ import (
 // Fig. 2(d) versus the low-a4 regime of Fig. 2(b/c).
 func chaosDB(t testing.TB, rows int, highA4 bool) *DB {
 	t.Helper()
-	db := Open()
+	return chaosDBWith(t, rows, highA4)
+}
+
+// chaosDBWith is chaosDB with Open options (the cache suite compares
+// cached and cache-disabled databases over the same dataset).
+func chaosDBWith(t testing.TB, rows int, highA4 bool, opts ...OpenOption) *DB {
+	t.Helper()
+	db := Open(opts...)
 	for _, spec := range []struct{ name, p string }{{"r", "a"}, {"s", "b"}, {"t", "c"}} {
 		cols := []Column{
 			{Name: spec.p + "1", Type: types.KindInt},

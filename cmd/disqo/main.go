@@ -13,6 +13,7 @@
 //	\explain analyze SELECT ...   execute and annotate the physical plan
 //	\analyze SELECT ...           same as \explain analyze
 //	\stats                        show the last query's execution counters
+//	\cache                        show plan/result cache counters
 //	\strategy s2                  switch strategy
 //	\tables                       list tables
 //	\q                            quit
@@ -46,10 +47,15 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
 		maxConc  = flag.Int("max-concurrent", 0, "admission limit on concurrent queries (0 = engine default, <0 = unlimited)")
 		traceOut = flag.String("trace", "", "stream per-operator spans as JSON lines to this file")
+		noCache  = flag.Bool("no-cache", false, "disable the plan and result caches (every query re-plans and re-executes)")
 	)
 	flag.Parse()
 
-	db := disqo.Open(disqo.WithMaxConcurrent(*maxConc))
+	openOpts := []disqo.OpenOption{disqo.WithMaxConcurrent(*maxConc)}
+	if *noCache {
+		openOpts = append(openOpts, disqo.WithoutCache())
+	}
+	db := disqo.Open(openOpts...)
 	if *rstSF > 0 {
 		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {
 			fatal(err)
@@ -174,6 +180,20 @@ func (s *session) analyze(sql string) {
 		return
 	}
 	fmt.Print(out)
+	cs := s.db.CacheStats()
+	fmt.Printf("cache: plan %d/%d hit/miss, result %d/%d hit/miss (%d waits)\n",
+		cs.Plan.Hits, cs.Plan.Misses, cs.Result.Hits, cs.Result.Misses, cs.Result.Waits)
+}
+
+// cacheReport prints the DB-wide cache counters, one line per tier.
+func (s *session) cacheReport() {
+	cs := s.db.CacheStats()
+	row := func(name string, t disqo.CacheTierStats) {
+		fmt.Printf("%-7s hits: %-7d misses: %-7d waits: %-5d evictions: %-5d invalidations: %-5d entries: %-5d bytes: %d\n",
+			name, t.Hits, t.Misses, t.Waits, t.Evictions, t.Invalidations, t.Entries, t.Bytes)
+	}
+	row("plan", cs.Plan)
+	row("result", cs.Result)
 }
 
 // stats prints the execution counters of the last successful query.
@@ -257,8 +277,10 @@ func (s *session) command(line string) bool {
 		s.analyze(strings.TrimPrefix(line, "\\analyze "))
 	case "\\stats":
 		s.stats()
+	case "\\cache":
+		s.cacheReport()
 	case "\\help":
-		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
+		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
 	default:
 		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
 	}

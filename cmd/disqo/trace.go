@@ -50,6 +50,19 @@ func (t *jsonlTracer) OpMorsel(n physical.Node, lo, hi int) {
 	}{t.us(), "morsel", n.ID(), lo, hi})
 }
 
+// CacheEvent implements disqo.CacheObserver: cache-tier decisions
+// ("hit", "miss", "bypass", …) land in the span stream alongside the
+// operator events they explain. A tracing query bypasses the result
+// cache entirely, so traced runs always carry a result/bypass event.
+func (t *jsonlTracer) CacheEvent(tier, event string) {
+	t.emit(struct {
+		Us   int64  `json:"us"`
+		Ev   string `json:"ev"`
+		Tier string `json:"tier"`
+		What string `json:"what"`
+	}{t.us(), "cache", tier, event})
+}
+
 func (t *jsonlTracer) OpClose(n physical.Node, rows int64, d time.Duration) {
 	t.emit(struct {
 		Us   int64  `json:"us"`

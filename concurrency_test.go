@@ -262,10 +262,10 @@ func TestConcurrentInsertsNoLostUpdates(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
 	db := gateDB(t, 0)
 	const (
-		apiWriters  = 8
-		sqlWriters  = 4
-		perAPI      = 50
-		perSQL      = 25
+		apiWriters = 8
+		sqlWriters = 4
+		perAPI     = 50
+		perSQL     = 25
 	)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -367,6 +367,192 @@ func TestSharedTupleBudget(t *testing.T) {
 	}
 	if _, err := db.Query(gateQuery, WithWorkers(1)); err != nil {
 		t.Fatalf("query after budget freed failed: %v", err)
+	}
+}
+
+// TestCachedReadersUnderChurn is the invalidation-race test: readers
+// hammer ONE golden shape — so warm result-cache hits happen constantly
+// — while a writer applies churnScript to the live DB. A stale hit
+// would serve rows matching no committed snapshot; the legal-set
+// membership check catches it. Afterwards the cache must converge: a
+// refill query followed by a deterministic hit, both matching the
+// mirror's final state.
+func TestCachedReadersUnderChurn(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const readers = 6
+	for _, plan := range []struct{ idx int }{{2}, {0}} { // fig2c unnested, fig2a canonical
+		plan := chaosPlans[plan.idx]
+		t.Run(plan.name, func(t *testing.T) {
+			fingerprint := func(db *DB) string {
+				res, err := db.Query(plan.sql, WithStrategy(plan.strategy))
+				if err != nil {
+					t.Fatalf("fingerprint query: %v", err)
+				}
+				return rowsFingerprint(res)
+			}
+
+			mirror := chaosDBWith(t, 48, plan.highA4, WithoutCache())
+			legal := map[string]bool{fingerprint(mirror): true}
+			for _, stmt := range churnScript {
+				if _, err := mirror.Exec(stmt); err != nil {
+					t.Fatalf("mirror %q: %v", stmt, err)
+				}
+				legal[fingerprint(mirror)] = true
+			}
+
+			db := chaosDB(t, 48, plan.highA4)
+			stop := make(chan struct{})
+			errCh := make(chan error, readers)
+			var wg sync.WaitGroup
+			for i := 0; i < readers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						res, err := db.Query(plan.sql, WithStrategy(plan.strategy))
+						if err != nil {
+							errCh <- fmt.Errorf("cached reader: %w", err)
+							return
+						}
+						if !legal[rowsFingerprint(res)] {
+							errCh <- fmt.Errorf("cached reader observed a result matching no committed snapshot:\n%s",
+								rowsFingerprint(res))
+							return
+						}
+					}
+				}()
+			}
+			for _, stmt := range churnScript {
+				if _, err := db.Exec(stmt); err != nil {
+					t.Errorf("live %q: %v", stmt, err)
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+
+			// Churn is over: one refill, then a guaranteed warm hit, both
+			// equal to the mirror's final committed state.
+			final := fingerprint(mirror)
+			if got := fingerprint(db); got != final {
+				t.Fatalf("post-churn refill diverged from mirror:\n--- live ---\n%s--- mirror ---\n%s", got, final)
+			}
+			before := db.CacheStats()
+			if got := fingerprint(db); got != final {
+				t.Fatal("post-churn warm read diverged from mirror")
+			}
+			if after := db.CacheStats(); after.Result.Hits != before.Result.Hits+1 {
+				t.Fatal("post-churn second read was not a result-cache hit")
+			}
+			if cs := db.CacheStats(); cs.Result.Invalidations == 0 {
+				t.Fatal("churn produced no cache invalidations; the race was never exercised")
+			}
+		})
+	}
+}
+
+// TestSingleFlightOwnerFault runs a fault-armed query concurrently with
+// clean twins asking the exact same question. Fault-injected queries
+// never read or join cleanly — but clean arrivals may coalesce behind
+// the faulted owner's flight. Every legal outcome for a twin is either
+// the baseline rows (it executed, hit, or waited on a clean owner) or a
+// classified *QueryError resolving faultinject.ErrInjected (it waited
+// on the faulted owner); the error must never be cached, so a fresh
+// query afterwards always returns the baseline.
+func TestSingleFlightOwnerFault(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	target := chaosPlans[2] // fig2c-q1-unnested
+	const twins = 4
+
+	// Discover injection sites on a throwaway DB.
+	probe := chaosDB(t, 64, target.highA4)
+	baselineRes, err := probe.Query(target.sql, WithStrategy(target.strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := rowsFingerprint(baselineRes)
+	rec := faultinject.New()
+	if _, err := probe.Query(target.sql, WithStrategy(target.strategy), withFaultInjector(rec)); err != nil {
+		t.Fatal(err)
+	}
+	keys := sortedKeys(rec.Visits())
+	if len(keys) == 0 {
+		t.Fatal("no injection points recorded")
+	}
+	picks := []faultinject.Key{keys[0], keys[len(keys)-1]}
+
+	for _, key := range picks {
+		for _, panics := range []bool{false, true} {
+			key, panics := key, panics
+			t.Run(fmt.Sprintf("%s@%d panic=%v", key.Site, key.Node, panics), func(t *testing.T) {
+				// Fresh DB per trial: an empty cache makes the faulted
+				// query the flight owner whenever it registers first.
+				db := chaosDB(t, 64, target.highA4)
+				var wg sync.WaitGroup
+				faultErr := make(chan error, 1)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					fi := faultinject.New()
+					fi.Arm(key.Site, key.Node, 1, panics)
+					_, err := db.Query(target.sql, WithStrategy(target.strategy), withFaultInjector(fi))
+					faultErr <- err
+				}()
+				time.Sleep(100 * time.Microsecond) // bias the race toward a faulted owner
+				twinErrs := make(chan error, twins)
+				for i := 0; i < twins; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						res, err := db.Query(target.sql, WithStrategy(target.strategy))
+						if err != nil {
+							var qe *QueryError
+							if !errors.As(err, &qe) {
+								twinErrs <- fmt.Errorf("twin error %T is not a *QueryError: %w", err, err)
+								return
+							}
+							if !errors.Is(err, faultinject.ErrInjected) {
+								twinErrs <- fmt.Errorf("twin failed with a non-injected cause: %w", err)
+							}
+							return
+						}
+						if rowsFingerprint(res) != baseline {
+							twinErrs <- errors.New("clean twin served rows differing from the baseline")
+						}
+					}()
+				}
+				wg.Wait()
+				if err := <-faultErr; err == nil {
+					t.Fatal("armed fault did not surface in the target query")
+				} else if !errors.Is(err, faultinject.ErrInjected) {
+					t.Fatalf("target error does not resolve the injected cause: %v", err)
+				}
+				close(twinErrs)
+				for err := range twinErrs {
+					t.Error(err)
+				}
+				// No poisoned entry: the next clean query re-executes (or
+				// hits a clean twin's fill) and matches the baseline.
+				res, err := db.Query(target.sql, WithStrategy(target.strategy))
+				if err != nil {
+					t.Fatalf("query after faulted flight: %v", err)
+				}
+				if rowsFingerprint(res) != baseline {
+					t.Fatal("faulted flight poisoned the cache")
+				}
+			})
+		}
 	}
 }
 

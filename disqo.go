@@ -33,9 +33,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"disqo/internal/algebra"
+	"disqo/internal/cache"
 	"disqo/internal/catalog"
 	"disqo/internal/datagen"
 	"disqo/internal/exec"
@@ -136,6 +138,16 @@ type DB struct {
 	// budget is the DB-wide resident-tuple budget shared by all
 	// concurrent queries; nil means per-query limits only.
 	budget *exec.Budget
+
+	// pcache/rcache are the plan and result cache tiers; nil disables
+	// the tier (WithoutCache, or a negative size). See DESIGN.md §8.
+	pcache *cache.PlanCache
+	rcache *cache.ResultCache
+	// viewEpoch advances on every CREATE/DROP VIEW. View DDL does not
+	// bump the catalog version (it touches no table), so the plan cache
+	// keys on this too — a redefined view makes cached plans that were
+	// translated through the old definition stop matching.
+	viewEpoch atomic.Uint64
 }
 
 // OpenOptions configures a DB at Open time. The zero value of each
@@ -158,6 +170,15 @@ type OpenOptions struct {
 	// query whose allocation crosses it aborts with ErrMemoryLimit.
 	// 0 means no shared budget.
 	SharedTupleLimit int64
+	// PlanCacheBytes bounds the plan cache (0 selects the 4 MiB
+	// default; negative disables the tier).
+	PlanCacheBytes int64
+	// ResultCacheBytes bounds the result cache (0 selects the 16 MiB
+	// default; negative disables the tier).
+	ResultCacheBytes int64
+	// DisableCache turns both cache tiers off; every query re-plans and
+	// re-executes from scratch, byte-identically to a cached run.
+	DisableCache bool
 }
 
 // OpenOption configures Open.
@@ -192,9 +213,34 @@ func WithSharedTupleLimit(n int64) OpenOption {
 	return func(o *OpenOptions) { o.SharedTupleLimit = n }
 }
 
+// WithPlanCacheSize bounds the plan cache to n bytes (default 4 MiB;
+// n < 0 disables the tier). Cached plans are keyed by normalized SQL,
+// strategy, catalog version, and view epoch — see DESIGN.md §8.
+func WithPlanCacheSize(n int64) OpenOption {
+	return func(o *OpenOptions) { o.PlanCacheBytes = n }
+}
+
+// WithResultCacheSize bounds the result cache to n bytes (default
+// 16 MiB; n < 0 disables the tier). Cached results are keyed by
+// physical-plan fingerprint, strategy, and the version of every
+// referenced table, so a hit is always byte-identical to a fresh
+// execution; cached tuples are additionally charged against the shared
+// tuple budget when one is configured (WithSharedTupleLimit).
+func WithResultCacheSize(n int64) OpenOption {
+	return func(o *OpenOptions) { o.ResultCacheBytes = n }
+}
+
+// WithoutCache disables both cache tiers: every query parses, plans,
+// and executes from scratch. Results are byte-identical either way; the
+// benchmarks use this to measure execution rather than cache hits.
+func WithoutCache() OpenOption {
+	return func(o *OpenOptions) { o.DisableCache = true }
+}
+
 // Open creates an empty database. With no options the admission gate
 // admits 8×GOMAXPROCS concurrent queries, queues 4× more, waits
-// without a budget, and installs no shared tuple budget.
+// without a budget, installs no shared tuple budget, and enables a
+// 4 MiB plan cache and a 16 MiB result cache.
 func Open(opts ...OpenOption) *DB {
 	var o OpenOptions
 	for _, fn := range opts {
@@ -213,6 +259,23 @@ func Open(opts ...OpenOption) *DB {
 	}
 	if o.SharedTupleLimit > 0 {
 		db.budget = exec.NewBudget(o.SharedTupleLimit)
+	}
+	if !o.DisableCache {
+		if o.PlanCacheBytes == 0 {
+			o.PlanCacheBytes = defaultPlanCacheBytes
+		}
+		if o.ResultCacheBytes == 0 {
+			o.ResultCacheBytes = defaultResultCacheBytes
+		}
+		if o.PlanCacheBytes > 0 {
+			db.pcache = cache.NewPlanCache(o.PlanCacheBytes)
+		}
+		if o.ResultCacheBytes > 0 {
+			// Method values on a nil *Budget are valid: TryCharge then
+			// always admits and Release is a no-op.
+			db.rcache = cache.NewResultCache(o.ResultCacheBytes,
+				db.budget.TryCharge, db.budget.Release)
+		}
 	}
 	return db
 }
@@ -245,11 +308,20 @@ func (db *DB) Views() []string {
 // CreateTable defines a new table.
 func (db *DB) CreateTable(name string, cols []Column) error {
 	_, err := db.cat.Create(name, cols)
+	if err == nil {
+		db.afterWrite(name)
+	}
 	return err
 }
 
 // DropTable removes a table.
-func (db *DB) DropTable(name string) error { return db.cat.Drop(name) }
+func (db *DB) DropTable(name string) error {
+	err := db.cat.Drop(name)
+	if err == nil {
+		db.afterWrite(name)
+	}
+	return err
+}
 
 // Tables lists the defined table names.
 func (db *DB) Tables() []string { return db.cat.Names() }
@@ -260,7 +332,11 @@ func (db *DB) Tables() []string { return db.cat.Names() }
 func (db *DB) Insert(table string, rows ...[]Value) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	return db.cat.InsertRows(table, rows...)
+	if err := db.cat.InsertRows(table, rows...); err != nil {
+		return err
+	}
+	db.afterWrite(table)
+	return nil
 }
 
 // RowCount returns the number of rows in a table.
@@ -437,6 +513,12 @@ func (db *DB) plan(src catalog.Reader, sql string, cfg queryConfig) (algebra.Op,
 	if err != nil {
 		return nil, nil, err
 	}
+	return db.planAST(src, stmt, cfg)
+}
+
+// planAST is plan for an already-parsed statement — the path prepared
+// statements (Stmt) take, having paid for parsing once at Prepare.
+func (db *DB) planAST(src catalog.Reader, stmt *sqlparser.SelectStmt, cfg queryConfig) (algebra.Op, []string, error) {
 	canonical, err := db.translatorOn(src).Translate(stmt)
 	if err != nil {
 		return nil, nil, err
@@ -603,6 +685,7 @@ func (db *DB) Exec(sql string) (int, error) {
 		if err := db.cat.InsertRows(x.Table, rows...); err != nil {
 			return 0, err
 		}
+		db.afterWrite(x.Table)
 		return len(rows), nil
 	case *sqlparser.CreateViewStmt:
 		key := strings.ToLower(x.Name)
@@ -622,6 +705,7 @@ func (db *DB) Exec(sql string) (int, error) {
 		db.viewMu.Lock()
 		db.views[key] = x.Body
 		db.viewMu.Unlock()
+		db.viewEpoch.Add(1)
 		return 0, nil
 	case *sqlparser.DropViewStmt:
 		key := strings.ToLower(x.Name)
@@ -631,6 +715,7 @@ func (db *DB) Exec(sql string) (int, error) {
 			return 0, fmt.Errorf("disqo: no view %q", x.Name)
 		}
 		delete(db.views, key)
+		db.viewEpoch.Add(1)
 		return 0, nil
 	case *sqlparser.DeleteStmt:
 		return db.execDelete(x)
@@ -698,7 +783,11 @@ func (db *DB) execDelete(x *sqlparser.DeleteStmt) (int, error) {
 	}
 	if x.Where == nil {
 		n := tbl.Rel.Cardinality()
-		return n, db.cat.ReplaceRows(x.Table, nil)
+		if err := db.cat.ReplaceRows(x.Table, nil); err != nil {
+			return 0, err
+		}
+		db.afterWrite(x.Table)
+		return n, nil
 	}
 	matching, err := db.matchingRows(snap, x.Table, x.Where)
 	if err != nil {
@@ -716,7 +805,11 @@ func (db *DB) execDelete(x *sqlparser.DeleteStmt) (int, error) {
 	if deleted == 0 {
 		return 0, nil
 	}
-	return deleted, db.cat.ReplaceRows(x.Table, kept)
+	if err := db.cat.ReplaceRows(x.Table, kept); err != nil {
+		return 0, err
+	}
+	db.afterWrite(x.Table)
+	return deleted, nil
 }
 
 // execUpdate rewrites the rows satisfying the predicate, evaluating SET
@@ -784,49 +877,39 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 	if updated == 0 {
 		return 0, nil
 	}
-	return updated, db.cat.ReplaceRows(x.Table, newRows)
+	if err := db.cat.ReplaceRows(x.Table, newRows); err != nil {
+		return 0, err
+	}
+	db.afterWrite(x.Table)
+	return updated, nil
 }
 
 // Query parses, optimizes and executes a SQL statement. The query plans
-// and runs against an immutable catalog snapshot pinned on admission, so
+// and runs against an immutable catalog snapshot pinned at entry, so
 // its result reflects exactly one committed state no matter how much DML
 // commits while it runs. Execution failures — timeout, tuple budget,
 // cancellation, admission shedding, a recovered panic — are returned as
 // a *QueryError; parse and planning errors are not wrapped.
+//
+// Repeated statements are served from the caches unless Open disabled
+// them: the plan cache skips parse/translate/rewrite for a statement
+// already optimized at this catalog version, and the result cache skips
+// execution entirely when an identical physical plan already ran
+// against the same table versions — the served rows are byte-identical
+// to what a fresh execution would produce. Cache hits (and queries that
+// join a concurrent identical execution via single-flight) do not pass
+// the admission gate; only real executions consume slots.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	cfg := queryConfig{strategy: Unnested}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := db.gate.acquire(cfg.ctx); err != nil {
-		return nil, wrapQueryError(sql, cfg, 0, err)
-	}
-	defer db.gate.release()
 	snap := db.cat.Snapshot()
-	plan, trace, err := db.plan(snap, sql, cfg)
+	pi, err := db.planFor(snap, sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ex := exec.New(snap, db.execOptions(cfg))
-	defer ex.Close()
-	start := time.Now()
-	rel, err := ex.Run(plan)
-	if err != nil {
-		return nil, wrapQueryError(sql, cfg, time.Since(start), err)
-	}
-	res := &Result{
-		Columns:  append([]string(nil), rel.Schema.Attrs()...),
-		Rows:     rel.Tuples,
-		Stats:    ex.Stats(),
-		Rewrites: trace,
-		Elapsed:  time.Since(start),
-	}
-	if cfg.metrics {
-		if root, err := ex.Plan(plan); err == nil {
-			res.metrics = newPlanMetrics(root, subplanNodes(ex, plan), ex.NodeMetrics())
-		}
-	}
-	return res, nil
+	return db.run(snap, sql, cfg, pi)
 }
 
 // QueryContext is Query with cancellation: it runs sql until ctx is

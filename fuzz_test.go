@@ -1,6 +1,7 @@
 package disqo_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -34,6 +35,18 @@ func fuzzDB(tb testing.TB) *disqo.DB {
 	return db
 }
 
+// fuzzFingerprint renders a result for identity comparison.
+func fuzzFingerprint(res *disqo.Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range res.Rows {
+		b.WriteString(types.FormatTuple(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // FuzzQuery fuzzes the full pipeline — parse, translate, rewrite,
 // lower, execute — against a tiny catalog under both the unnested and
 // canonical strategies. The contract is the engine's robustness
@@ -41,6 +54,15 @@ func fuzzDB(tb testing.TB) *disqo.DB {
 // panics anywhere in the lifecycle fail the fuzz run. Timeout and
 // tuple-limit budgets keep pathological inputs (cross joins, deep
 // nesting) from stalling the fuzzer.
+//
+// Every parseable input is additionally round-tripped through the
+// caching tiers: Prepare, then Stmt.Query twice — the first run
+// executes and fills the result cache, the second is (normally) a warm
+// hit — and any successful runs of one statement under one strategy
+// must agree byte-for-byte with each other and with the ad-hoc
+// db.Query path. A cache key collision, a stale entry, or a
+// fingerprint that conflates two different plans all surface here as
+// an identity mismatch.
 //
 // verify.sh runs this for a 10s smoke on every full verification;
 // longer sessions: go test -fuzz=FuzzQuery .
@@ -60,13 +82,42 @@ func FuzzQuery(f *testing.F) {
 	strategies := []disqo.Strategy{disqo.Unnested, disqo.Canonical}
 	f.Fuzz(func(t *testing.T, sql string) {
 		for _, s := range strategies {
-			// Errors are expected on arbitrary input; crashes and hangs
-			// are the failures being hunted.
-			_, _ = db.Query(sql,
+			opts := []disqo.Option{
 				disqo.WithStrategy(s),
-				disqo.WithTimeout(2*time.Second),
+				disqo.WithTimeout(2 * time.Second),
 				disqo.WithTupleLimit(100_000),
-				disqo.WithWorkers(2))
+				disqo.WithWorkers(2),
+			}
+			// Errors are expected on arbitrary input; crashes, hangs, and
+			// cold/warm identity mismatches are the failures being hunted.
+			adhoc, adhocErr := db.Query(sql, opts...)
+			stmt, err := db.Prepare(sql)
+			if err != nil {
+				if adhocErr == nil {
+					t.Fatalf("%s: db.Query accepted what Prepare rejected: %v", s, err)
+				}
+				continue
+			}
+			cold, coldErr := stmt.Query(opts...)
+			warm, warmErr := stmt.Query(opts...)
+			// Nondeterministic budgets (timeout) may fail one run and not
+			// another, so identity is only asserted between successes.
+			var prints []string
+			for _, r := range []struct {
+				res *disqo.Result
+				err error
+			}{{adhoc, adhocErr}, {cold, coldErr}, {warm, warmErr}} {
+				if r.err == nil {
+					prints = append(prints, fuzzFingerprint(r.res))
+				}
+			}
+			for i := 1; i < len(prints); i++ {
+				if prints[i] != prints[0] {
+					t.Fatalf("%s: prepared/cached runs of %q disagree:\n--- run 0 ---\n%s--- run %d ---\n%s",
+						s, sql, prints[0], i, prints[i])
+				}
+			}
+			stmt.Close()
 		}
 	})
 }

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlanCacheHitMissEvict(t *testing.T) {
+	c := NewPlanCache(100)
+	k1 := PlanKey{SQL: "q1", Strategy: "unnested", CatalogVersion: 1}
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(k1, "plan1", 60)
+	if v, ok := c.Get(k1); !ok || v != "plan1" {
+		t.Fatalf("expected hit with plan1, got %v %v", v, ok)
+	}
+	// A different catalog version is a different key.
+	k2 := k1
+	k2.CatalogVersion = 2
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("stale key matched across catalog versions")
+	}
+	// Inserting past capacity evicts the LRU entry (k1 — k2's put is newer).
+	c.Put(k2, "plan2", 60)
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("expected k1 evicted by capacity pressure")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != 60 {
+		t.Fatalf("bytes = %d, want 60", st.Bytes)
+	}
+}
+
+func TestPlanCacheReplaceAccountsBytes(t *testing.T) {
+	c := NewPlanCache(100)
+	k := PlanKey{SQL: "q"}
+	c.Put(k, "a", 40)
+	c.Put(k, "b", 70)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 70 {
+		t.Fatalf("stats after replace = %+v", st)
+	}
+	if v, _ := c.Get(k); v != "b" {
+		t.Fatalf("got %v, want replaced value", v)
+	}
+}
+
+func TestResultCacheHitAndVersionedKey(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 7, Strategy: "unnested", Tables: "r@1;"}
+	v, f, out := c.Acquire(k, true, true)
+	if out != Owner || v != nil || f == nil {
+		t.Fatalf("cold acquire: %v %v %v", v, f, out)
+	}
+	c.Finish(k, f, "rows", nil, 100, 10, []string{"r"})
+	v, _, out = c.Acquire(k, true, true)
+	if out != Hit || v != "rows" {
+		t.Fatalf("warm acquire: %v %v", v, out)
+	}
+	// A bumped table version is a different key: miss, new flight.
+	k2 := k
+	k2.Tables = "r@2;"
+	_, f2, out := c.Acquire(k2, true, true)
+	if out != Owner {
+		t.Fatalf("versioned acquire outcome = %v, want Owner", out)
+	}
+	c.Finish(k2, f2, nil, errors.New("boom"), 0, 0, nil)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCacheSingleFlight(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 1}
+	_, owner, out := c.Acquire(k, true, true)
+	if out != Owner {
+		t.Fatalf("first acquire = %v, want Owner", out)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		_, f, out := c.Acquire(k, true, true)
+		if out != Waiter {
+			t.Fatalf("concurrent acquire = %v, want Waiter", out)
+		}
+		wg.Add(1)
+		go func(i int, f *Flight) {
+			defer wg.Done()
+			vals[i], errs[i] = f.Wait(context.Background())
+		}(i, f)
+	}
+	c.Finish(k, owner, "shared", nil, 10, 1, []string{"r"})
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i] != "shared" {
+			t.Fatalf("waiter %d got %v %v", i, vals[i], errs[i])
+		}
+	}
+	if st := c.Stats(); st.Waits != n {
+		t.Fatalf("waits = %d, want %d", st.Waits, n)
+	}
+}
+
+func TestResultCacheFlightErrorNotCached(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 2}
+	_, owner, _ := c.Acquire(k, true, true)
+	_, waiter, out := c.Acquire(k, true, true)
+	if out != Waiter {
+		t.Fatalf("second acquire = %v", out)
+	}
+	boom := errors.New("boom")
+	c.Finish(k, owner, nil, boom, 0, 0, nil)
+	if _, err := waiter.Wait(nil); !errors.Is(err, boom) {
+		t.Fatalf("waiter err = %v, want boom", err)
+	}
+	// The failure must not poison the cache: the next acquire owns a
+	// fresh flight rather than hitting a bad entry.
+	v, f, out := c.Acquire(k, true, true)
+	if out != Owner || v != nil {
+		t.Fatalf("post-failure acquire = %v %v, want Owner", v, out)
+	}
+	c.Finish(k, f, "good", nil, 10, 1, nil)
+	if v, _, out := c.Acquire(k, true, true); out != Hit || v != "good" {
+		t.Fatalf("recovery acquire = %v %v", v, out)
+	}
+}
+
+func TestResultCacheFinishIdempotent(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 3}
+	_, f, _ := c.Acquire(k, true, true)
+	c.Finish(k, f, "first", nil, 10, 1, nil)
+	// The deferred safety-net Finish in the caller must not clobber.
+	c.Finish(k, f, nil, errors.New("late"), 0, 0, nil)
+	if v, _, out := c.Acquire(k, true, true); out != Hit || v != "first" {
+		t.Fatalf("acquire after double finish = %v %v", v, out)
+	}
+}
+
+func TestResultCacheWaitContextCancel(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 4}
+	_, owner, _ := c.Acquire(k, true, true)
+	_, waiter, _ := c.Acquire(k, true, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := waiter.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	c.Finish(k, owner, nil, errors.New("late"), 0, 0, nil)
+}
+
+func TestResultCacheBypassPolicies(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 5}
+	_, f, _ := c.Acquire(k, true, true)
+	c.Finish(k, f, "cached", nil, 10, 1, nil)
+
+	// readThrough=false skips the resident entry but still takes flight
+	// ownership when the key is idle.
+	v, f2, out := c.Acquire(k, false, false)
+	if out != Owner || v != nil {
+		t.Fatalf("bypass acquire over resident entry = %v %v, want Owner", v, out)
+	}
+	// While that flight is open, another bypass query runs Solo.
+	if _, _, out := c.Acquire(k, false, false); out != Solo {
+		t.Fatalf("bypass acquire over open flight = %v, want Solo", out)
+	}
+	c.Finish(k, f2, "refreshed", nil, 10, 1, nil)
+	if v, _, out := c.Acquire(k, true, true); out != Hit || v != "refreshed" {
+		t.Fatalf("post-bypass acquire = %v %v", v, out)
+	}
+}
+
+func TestResultCacheInvalidateTables(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	fill := func(fp uint64, tables ...string) {
+		k := ResultKey{Fingerprint: fp}
+		_, f, _ := c.Acquire(k, true, true)
+		c.Finish(k, f, fp, nil, 10, 1, tables)
+	}
+	fill(1, "r")
+	fill(2, "r", "s")
+	fill(3, "s")
+	fill(4, "t")
+	if n := c.InvalidateTables("r"); n != 2 {
+		t.Fatalf("invalidate r dropped %d, want 2", n)
+	}
+	if n := c.InvalidateTables("r"); n != 0 {
+		t.Fatalf("second invalidate dropped %d, want 0", n)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Invalidations != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, _, out := c.Acquire(ResultKey{Fingerprint: 3}, true, true); out != Hit {
+		t.Fatalf("entry on surviving table lost: %v", out)
+	}
+}
+
+func TestResultCacheBudgetChargeAndEvictToFit(t *testing.T) {
+	var resident atomic.Int64
+	const limit = 25
+	tryCharge := func(n int64) bool {
+		for {
+			cur := resident.Load()
+			if cur+n > limit {
+				return false
+			}
+			if resident.CompareAndSwap(cur, cur+n) {
+				return true
+			}
+		}
+	}
+	release := func(n int64) { resident.Add(-n) }
+	c := NewResultCache(1<<20, tryCharge, release)
+	fill := func(fp uint64, tuples int64) {
+		k := ResultKey{Fingerprint: fp}
+		_, f, _ := c.Acquire(k, true, true)
+		c.Finish(k, f, fp, nil, tuples, tuples, []string{"r"})
+	}
+	fill(1, 10)
+	fill(2, 10)
+	if resident.Load() != 20 {
+		t.Fatalf("resident = %d, want 20", resident.Load())
+	}
+	// 10 more tuples does not fit; the cache evicts entry 1 (LRU) to
+	// make room and ends balanced.
+	fill(3, 10)
+	if resident.Load() != 20 {
+		t.Fatalf("resident after evict-to-fit = %d, want 20", resident.Load())
+	}
+	if _, _, out := c.Acquire(ResultKey{Fingerprint: 1}, true, true); out == Hit {
+		t.Fatal("LRU entry survived budget pressure")
+	}
+	// A fill larger than the whole budget empties the cache, fails to
+	// charge, and leaves nothing pinned.
+	k := ResultKey{Fingerprint: 9}
+	_, f, out := c.Acquire(k, true, true)
+	if out != Owner {
+		t.Fatalf("acquire = %v", out)
+	}
+	c.Finish(k, f, "big", nil, 100, 100, []string{"r"})
+	if resident.Load() != 0 {
+		t.Fatalf("resident after oversized fill = %d, want 0", resident.Load())
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d, want 0", st.Entries)
+	}
+	// Invalidation releases the budget charge of dropped entries.
+	fill(10, 10)
+	if resident.Load() != 10 {
+		t.Fatalf("resident = %d", resident.Load())
+	}
+	c.InvalidateTables("r")
+	if resident.Load() != 0 {
+		t.Fatalf("resident after invalidate = %d, want 0", resident.Load())
+	}
+}
+
+func TestResultCacheConcurrentSingleOwner(t *testing.T) {
+	c := NewResultCache(1<<20, nil, nil)
+	k := ResultKey{Fingerprint: 42}
+	const n = 16
+	var owners atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, f, out := c.Acquire(k, true, true)
+			switch out {
+			case Owner:
+				owners.Add(1)
+				c.Finish(k, f, "v", nil, 1, 1, nil)
+			case Waiter:
+				if got, err := f.Wait(context.Background()); err != nil || got != "v" {
+					t.Errorf("waiter got %v %v", got, err)
+				}
+			case Hit:
+				if v != "v" {
+					t.Errorf("hit got %v", v)
+				}
+			default:
+				t.Errorf("unexpected outcome %v", out)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if owners.Load() != 1 {
+		t.Fatalf("owners = %d, want exactly 1", owners.Load())
+	}
+}

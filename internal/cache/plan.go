@@ -1,0 +1,61 @@
+package cache
+
+import "sync"
+
+// PlanKey identifies one cached logical plan. SQL is the normalized
+// statement text; CatalogVersion and ViewEpoch pin the schema state the
+// plan was derived against — any DDL or DML commit bumps the catalog
+// version, and any view definition change bumps the view epoch, so a
+// stale plan simply stops matching rather than needing eager
+// invalidation.
+type PlanKey struct {
+	SQL            string
+	Strategy       string
+	CatalogVersion uint64
+	ViewEpoch      uint64
+}
+
+// PlanCache is the LRU plan tier: it stores the output of parse +
+// translate + rewrite (an immutable logical tree plus its rewrite
+// trace) so repeated statements skip the optimizer entirely. Values are
+// opaque to the cache; the caller accounts their size in bytes.
+type PlanCache struct {
+	mu                      sync.Mutex
+	lru                     *lru
+	hits, misses, evictions int64
+}
+
+// NewPlanCache returns a plan cache bounded to capBytes (> 0).
+func NewPlanCache(capBytes int64) *PlanCache {
+	return &PlanCache{lru: newLRU(capBytes)}
+}
+
+// Get returns the cached plan for the key, if present.
+func (c *PlanCache) Get(k PlanKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.lru.get(k)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put stores a plan under the key, charging bytes against the capacity.
+func (c *PlanCache) Put(k PlanKey, v any, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.put(k, v, bytes, func(any, any, int64) { c.evictions++ })
+}
+
+// Stats snapshots the tier counters.
+func (c *PlanCache) Stats() TierStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TierStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.lru.len(), Bytes: c.lru.bytes,
+	}
+}

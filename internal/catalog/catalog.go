@@ -44,6 +44,12 @@ type Table struct {
 	Columns []Column
 	Rel     *storage.Relation
 
+	// Version is the catalog commit counter value at which this table
+	// version was published. Two lookups returning the same name and
+	// Version are guaranteed to hold identical data, which is what the
+	// result cache keys on for sound invalidation.
+	Version uint64
+
 	statsMu    sync.Mutex
 	statsDirty bool
 	stats      *TableStats
@@ -61,10 +67,13 @@ type TableStats struct {
 // the live *Catalog (always the latest committed state) and by
 // *Snapshot (one pinned version set); the planner, estimator,
 // translator, and executor all work against this interface so a whole
-// query can run off one immutable snapshot.
+// query can run off one immutable snapshot. Version identifies the
+// commit boundary the reader observes: the cache layer keys plans and
+// results on it (plus per-table versions) for sound invalidation.
 type Reader interface {
 	Lookup(name string) (*Table, error)
 	Names() []string
+	Version() uint64
 }
 
 // Catalog is the set of defined tables. All methods are safe for
@@ -116,6 +125,7 @@ func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
 	}
 	c.tables[key] = t
 	c.version++
+	t.Version = c.version
 	return t, nil
 }
 
@@ -256,8 +266,10 @@ func (c *Catalog) InsertRows(name string, rows ...[]types.Value) error {
 			return err
 		}
 	}
-	c.tables[key] = t.withRows(t.Rel.CloneAppend(rows...).Tuples)
+	next := t.withRows(t.Rel.CloneAppend(rows...).Tuples)
 	c.version++
+	next.Version = c.version
+	c.tables[key] = next
 	return nil
 }
 
@@ -273,8 +285,10 @@ func (c *Catalog) ReplaceRows(name string, tuples [][]types.Value) error {
 	if !ok {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
-	c.tables[key] = t.withRows(tuples)
+	next := t.withRows(tuples)
 	c.version++
+	next.Version = c.version
+	c.tables[key] = next
 	return nil
 }
 

@@ -32,6 +32,35 @@ func (b *Budget) Resident() int64 { return b.resident.Load() }
 // charge adds n resident tuples (n may be negative on release).
 func (b *Budget) charge(n int64) { b.resident.Add(n) }
 
+// TryCharge reserves n resident tuples if the budget has room,
+// reporting whether the reservation was taken. The result cache uses it
+// to pin cached rows against the same pool live queries draw from: a
+// reservation that would cross the limit is declined (the entry simply
+// is not cached) instead of aborting anyone. A nil budget always admits.
+func (b *Budget) TryCharge(n int64) bool {
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.resident.Load()
+		if b.limit > 0 && cur+n > b.limit {
+			return false
+		}
+		if b.resident.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n previously reserved tuples to the pool. A nil
+// budget is a no-op.
+func (b *Budget) Release(n int64) {
+	if b == nil {
+		return
+	}
+	b.resident.Add(-n)
+}
+
 // over reports whether adding pending tuples would exceed the limit.
 func (b *Budget) over(pending int64) bool {
 	return b.limit > 0 && b.resident.Load()+pending > b.limit

@@ -1,0 +1,161 @@
+package harness
+
+// The cache experiment: where the timing experiments run cache-cold to
+// measure execution, this one opens the DB with its default caches ON
+// and measures what the result cache buys a repeating workload — and
+// what DML churn takes back. The grid crosses the workload's repeat
+// rate (how many of every ten queries re-ask the same hot statement)
+// with a churn interval (an invalidating write every N queries). Each
+// query is classified warm or cold from the DB's own counters, and the
+// table reports the two mean latencies as pseudo-strategy rows, with
+// the full counter deltas attached to each cell's cache section.
+
+import (
+	"fmt"
+	"time"
+
+	"disqo"
+)
+
+// CacheCold and CacheWarm are the pseudo-strategy rows of the cache
+// experiment's table: the same engine strategy (unnested), split by
+// whether the result came from an execution or from the cache.
+const (
+	CacheCold = disqo.Strategy("cold")
+	CacheWarm = disqo.Strategy("warm")
+)
+
+// cacheColdQ1 derives a one-off variant of Q1: a fresh disjunct
+// threshold gives a statement the cache has never seen, so the slot is
+// a compulsory miss.
+func cacheColdQ1(i int) string {
+	return fmt.Sprintf(`SELECT DISTINCT * FROM r
+	      WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+	         OR a4 > %d`, 100000+i)
+}
+
+// cacheChurn is the invalidating write toggle: inserting and deleting a
+// sentinel row of s bumps the table version (dropping every cached
+// result over s) without ever changing Q1's answer — the sentinel's
+// negative b2 matches no a2.
+func cacheChurn(db *disqo.DB, phase int) error {
+	if phase%2 == 0 {
+		_, err := db.Exec(`INSERT INTO s VALUES (-1, -1, -1, -1)`)
+		return err
+	}
+	_, err := db.Exec(`DELETE FROM s WHERE b1 = -1`)
+	return err
+}
+
+// CacheSweep runs the repeat-rate × DML-churn grid. Grid points are
+// named rep<hot/10>0/churn<interval> (churn0 = no writes). Every cell's
+// Seconds is the mean latency of its class; the warm row of a
+// churn-free, high-repeat point is the headline number, and its spread
+// against the cold row is the cache's measured speedup.
+func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	tab := newTable("cache",
+		fmt.Sprintf("Q1 unnested on RST 5x5 (scale %g): result-cache warm vs cold, repeat-rate × DML-churn grid", cfg.RSTScale),
+		[]disqo.Strategy{CacheCold, CacheWarm})
+	const slots = 60
+	repeatRates := []int{5, 9} // hot statements per ten slots
+	churns := []int{0, 8}      // invalidating write every N slots
+	for _, rate := range repeatRates {
+		for _, churn := range churns {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				abort := Cell{Aborted: true, Err: cfg.Ctx.Err()}
+				param := fmt.Sprintf("r%d0/c%d", rate, churn)
+				tab.set(CacheCold, param, abort)
+				tab.set(CacheWarm, param, abort)
+				continue
+			}
+			param := fmt.Sprintf("r%d0/c%d", rate, churn)
+			if progress != nil {
+				progress("cache " + param)
+			}
+			db := disqo.Open()
+			sf := 5 * cfg.RSTScale
+			if err := db.LoadRST(sf, sf, sf); err != nil {
+				return nil, err
+			}
+			opts := []disqo.Option{disqo.WithStrategy(disqo.Unnested), disqo.WithTupleLimit(cfg.MaxTuples)}
+			if cfg.Timeout > 0 {
+				opts = append(opts, disqo.WithTimeout(cfg.Timeout))
+			}
+			if cfg.Workers > 0 {
+				opts = append(opts, disqo.WithWorkers(cfg.Workers))
+			}
+			var (
+				cold, warm       Cell
+				coldSum, warmSum float64
+				coldN, warmN     int
+			)
+			prevHits := db.CacheStats().Result.Hits
+			for i := 0; i < slots; i++ {
+				if churn > 0 && i%churn == churn-1 {
+					if err := cacheChurn(db, i/churn); err != nil {
+						return nil, fmt.Errorf("harness: cache churn: %w", err)
+					}
+				}
+				sql := Q1
+				if i%10 >= rate {
+					sql = cacheColdQ1(i)
+				}
+				start := time.Now()
+				res, err := db.Query(sql, opts...)
+				elapsed := time.Since(start).Seconds()
+				if err != nil {
+					c := classifyCell(err)
+					tab.set(CacheCold, param, c)
+					tab.set(CacheWarm, param, c)
+					coldN, warmN = 0, 0
+					break
+				}
+				cs := db.CacheStats()
+				if cs.Result.Hits > prevHits {
+					warmSum += elapsed
+					warmN++
+					warm.Rows = len(res.Rows)
+				} else {
+					coldSum += elapsed
+					coldN++
+					cold.Rows = len(res.Rows)
+				}
+				prevHits = cs.Result.Hits
+			}
+			if coldN == 0 && warmN == 0 {
+				continue // the error cells are already set
+			}
+			counters := cacheCounters(db.CacheStats())
+			if coldN > 0 {
+				cold.Seconds = coldSum / float64(coldN)
+				cold.Cache = counters
+				tab.set(CacheCold, param, cold)
+			}
+			if warmN > 0 {
+				warm.Seconds = warmSum / float64(warmN)
+				warm.Cache = counters
+				tab.set(CacheWarm, param, warm)
+			}
+		}
+	}
+	return tab, nil
+}
+
+// cacheCounters flattens a fresh DB's CacheStats into the cell section
+// (the DB started empty, so totals are the workload's deltas).
+func cacheCounters(cs disqo.CacheStats) *CacheCounters {
+	c := &CacheCounters{
+		PlanHits:      cs.Plan.Hits,
+		PlanMisses:    cs.Plan.Misses,
+		ResultHits:    cs.Result.Hits,
+		ResultMisses:  cs.Result.Misses,
+		Waits:         cs.Result.Waits,
+		Evictions:     cs.Result.Evictions,
+		Invalidations: cs.Result.Invalidations,
+	}
+	if total := c.ResultHits + c.ResultMisses; total > 0 {
+		c.HitRate = float64(c.ResultHits) / float64(total)
+	}
+	return c
+}

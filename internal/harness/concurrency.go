@@ -30,7 +30,9 @@ func ConcurrencySweep(cfg Config, workers, sessions []int, progress func(string)
 	if len(sessions) == 0 {
 		sessions = []int{1, 4, 8}
 	}
-	db := disqo.Open()
+	// Cache-cold like every timing experiment: each session must pay for
+	// its own execution or the contention being measured disappears.
+	db := disqo.Open(disqo.WithoutCache())
 	sf := 10 * cfg.RSTScale
 	if err := db.LoadRST(sf, sf, sf); err != nil {
 		return nil, err

@@ -116,6 +116,22 @@ type Cell struct {
 	// Ops is the per-operator breakdown from a separate metrics-enabled
 	// run; set only under Config.OpBreakdown.
 	Ops []OpBreakdown
+	// Cache carries the DB-wide cache counters behind this cell; set only
+	// by the cache experiment (timing experiments run cache-cold).
+	Cache *CacheCounters
+}
+
+// CacheCounters is the cache section of a cell: the counter deltas the
+// cell's workload produced, plus the resulting result-cache hit rate.
+type CacheCounters struct {
+	PlanHits      int64   `json:"plan_hits"`
+	PlanMisses    int64   `json:"plan_misses"`
+	ResultHits    int64   `json:"result_hits"`
+	ResultMisses  int64   `json:"result_misses"`
+	Waits         int64   `json:"waits,omitempty"`
+	Evictions     int64   `json:"evictions,omitempty"`
+	Invalidations int64   `json:"invalidations,omitempty"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 // OpBreakdown is one physical operator's share of a cell's work.
@@ -174,15 +190,16 @@ func contains(ss []string, s string) bool {
 // title, and one object per (system, parameter) cell.
 func (t *Table) JSON() ([]byte, error) {
 	type cellJSON struct {
-		System   string        `json:"system"`
-		Param    string        `json:"param"`
-		Seconds  float64       `json:"seconds,omitempty"`
-		Rows     int           `json:"rows"`
-		TimedOut bool          `json:"timed_out,omitempty"`
-		OverMem  bool          `json:"over_memory,omitempty"`
-		Aborted  bool          `json:"aborted,omitempty"`
-		Error    string        `json:"error,omitempty"`
-		Ops      []OpBreakdown `json:"ops,omitempty"`
+		System   string         `json:"system"`
+		Param    string         `json:"param"`
+		Seconds  float64        `json:"seconds,omitempty"`
+		Rows     int            `json:"rows"`
+		TimedOut bool           `json:"timed_out,omitempty"`
+		OverMem  bool           `json:"over_memory,omitempty"`
+		Aborted  bool           `json:"aborted,omitempty"`
+		Error    string         `json:"error,omitempty"`
+		Ops      []OpBreakdown  `json:"ops,omitempty"`
+		Cache    *CacheCounters `json:"cache,omitempty"`
 	}
 	doc := struct {
 		ID    string     `json:"experiment"`
@@ -197,7 +214,7 @@ func (t *Table) JSON() ([]byte, error) {
 			}
 			cj := cellJSON{System: string(s), Param: p, Seconds: c.Seconds,
 				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem,
-				Aborted: c.Aborted, Ops: c.Ops}
+				Aborted: c.Aborted, Ops: c.Ops, Cache: c.Cache}
 			if c.Err != nil {
 				cj.Error = c.Err.Error()
 			}
@@ -338,7 +355,9 @@ func runRSTSweep(id, title, sql string, cfg Config, progress func(string)) (*Tab
 	cfg = cfg.withDefaults()
 	tab := newTable(id, title, cfg.Strategies)
 	for _, pair := range rstPairs {
-		db := disqo.Open()
+		// Timing experiments measure execution, not the result cache:
+		// every harness DB runs cache-cold so Repeat keeps honest minima.
+		db := disqo.Open(disqo.WithoutCache())
 		if err := db.LoadRST(pair[0]*cfg.RSTScale, pair[1]*cfg.RSTScale, pair[1]*cfg.RSTScale); err != nil {
 			return nil, err
 		}
@@ -368,7 +387,7 @@ func Fig7b(cfg Config, progress func(string)) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tab := newTable("fig7b", "Query 2d: disjunctive linking, MIN on TPC-H (SF)", cfg.Strategies)
 	for _, sf := range cfg.TPCHSFs {
-		db := disqo.Open()
+		db := disqo.Open(disqo.WithoutCache())
 		if err := db.LoadTPCH(sf); err != nil {
 			return nil, err
 		}
@@ -391,7 +410,7 @@ func runEqualSweep(id, title, sql string, scaleShrink float64, cfg Config, progr
 	cfg = cfg.withDefaults()
 	tab := newTable(id, title, cfg.Strategies)
 	for _, sf := range equalSFPoints {
-		db := disqo.Open()
+		db := disqo.Open(disqo.WithoutCache())
 		eff := sf * cfg.RSTScale * scaleShrink
 		if err := db.LoadRST(eff, eff, eff); err != nil {
 			return nil, err
@@ -434,7 +453,7 @@ func WorkerSweep(cfg Config, workers []int, progress func(string)) (*Table, erro
 	if len(workers) == 0 {
 		workers = []int{1, 2, 4}
 	}
-	db := disqo.Open()
+	db := disqo.Open(disqo.WithoutCache())
 	sf := 10 * cfg.RSTScale
 	if err := db.LoadRST(sf, sf, sf); err != nil {
 		return nil, err
@@ -504,7 +523,7 @@ func sameRows(a, b []string) bool {
 }
 
 // Experiment names in presentation order.
-var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency"}
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency", "cache"}
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config, progress func(string)) (*Table, error) {
@@ -527,6 +546,8 @@ func Run(id string, cfg Config, progress func(string)) (*Table, error) {
 		return WorkerSweep(cfg, nil, progress)
 	case "concurrency":
 		return ConcurrencySweep(cfg, nil, nil, progress)
+	case "cache":
+		return CacheSweep(cfg, progress)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Order, ", "))
 	}

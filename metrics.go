@@ -52,6 +52,11 @@ type OpMetrics struct {
 type PlanMetrics struct {
 	Root int         `json:"root"`
 	Ops  []OpMetrics `json:"ops"`
+	// Cache reports where the result came from ("execution",
+	// "result-cache", "single-flight", "bypass") and the DB-wide cache
+	// counters at completion. For a served result, Root and Ops are the
+	// filling execution's report — no operators ran for this call.
+	Cache *CacheReport `json:"cache,omitempty"`
 }
 
 // Op returns the report entry for a node ID, or nil.

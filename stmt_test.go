@@ -1,0 +1,207 @@
+package disqo
+
+// Prepared-statement tests: a *Stmt pins the parsed AST and re-derives
+// its per-strategy logical plan only when the catalog version or view
+// epoch has moved, so repeated Stmt.Query calls must match ad-hoc
+// db.Query byte-for-byte — cold, warm, after DML, and through view
+// redefinitions.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"disqo/internal/testutil"
+)
+
+func TestPrepareQueryMatchesAdHoc(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, plan := range chaosPlans {
+		plan := plan
+		t.Run(plan.name, func(t *testing.T) {
+			db := chaosDB(t, 48, plan.highA4)
+			stmt, err := db.Prepare(plan.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stmt.Close()
+			cold, err := stmt.Query(WithStrategy(plan.strategy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := stmt.Query(WithStrategy(plan.strategy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			adhoc, err := db.Query(plan.sql, WithStrategy(plan.strategy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rowsFingerprint(cold) != rowsFingerprint(warm) {
+				t.Fatal("warm prepared run differs from cold prepared run")
+			}
+			if rowsFingerprint(cold) != rowsFingerprint(adhoc) {
+				t.Fatal("prepared run differs from ad-hoc db.Query")
+			}
+			if cold.Stats != warm.Stats {
+				t.Fatalf("warm Stats %+v != cold Stats %+v", warm.Stats, cold.Stats)
+			}
+		})
+	}
+}
+
+func TestPrepareReflectsDML(t *testing.T) {
+	db := chaosDB(t, 48, false)
+	mirror := chaosDB(t, 48, false)
+	stmt, err := db.Prepare(chaosQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if _, err := stmt.Query(); err != nil { // plan + result now cached
+		t.Fatal(err)
+	}
+	for _, write := range []string{
+		`INSERT INTO r VALUES (7, 7, 7, 7)`,
+		`UPDATE s SET b4 = 1 WHERE b3 = 0`,
+		`DELETE FROM r WHERE a3 = 3`,
+	} {
+		if _, err := db.Exec(write); err != nil {
+			t.Fatalf("%q: %v", write, err)
+		}
+		if _, err := mirror.Exec(write); err != nil {
+			t.Fatal(err)
+		}
+		got, err := stmt.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mirror.Query(chaosQ1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsFingerprint(got) != rowsFingerprint(want) {
+			t.Fatalf("after %q the prepared statement served stale rows", write)
+		}
+	}
+}
+
+func TestPrepareReflectsViewRedefinition(t *testing.T) {
+	db := gateDB(t, 8)
+	if _, err := db.Exec(`CREATE VIEW kv AS SELECT DISTINCT * FROM k`); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`SELECT DISTINCT * FROM kv`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	res, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("prepared view query returned %d rows, want 8", len(res.Rows))
+	}
+	if _, err := db.Exec(`DROP VIEW kv`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE VIEW kv AS SELECT DISTINCT * FROM k WHERE w = 0`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 8 {
+		t.Fatal("prepared statement kept planning against the dropped view definition")
+	}
+}
+
+func TestPrepareParseError(t *testing.T) {
+	db := Open()
+	if _, err := db.Prepare(`SELECT DISTINCT FROM`); err == nil {
+		t.Fatal("Prepare accepted a malformed statement")
+	}
+	if _, err := db.Prepare(`DELETE FROM r WHERE a1 = 1`); err == nil {
+		t.Fatal("Prepare accepted a non-SELECT statement")
+	}
+}
+
+func TestPrepareCloseThenReuse(t *testing.T) {
+	db := gateDB(t, 8)
+	stmt, err := db.Prepare(gateQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close drops the cached plans but the statement stays usable; the
+	// next Query simply re-derives them.
+	again, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsFingerprint(first) != rowsFingerprint(again) {
+		t.Fatal("post-Close query differs")
+	}
+	if got, want := stmt.SQL(), gateQuery; got != want {
+		t.Fatalf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestPrepareQueryContextPreCancelled(t *testing.T) {
+	db := gateDB(t, 8)
+	stmt, err := db.Prepare(gateQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = stmt.QueryContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled QueryContext returned %v, want context.Canceled", err)
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %T is not a *QueryError", err)
+	}
+}
+
+func TestPrepareConcurrent(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	db := chaosDB(t, 48, false)
+	stmt, err := db.Prepare(chaosQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	want, err := db.Query(chaosQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := stmt.Query()
+			if err != nil {
+				t.Errorf("concurrent prepared query: %v", err)
+				return
+			}
+			if rowsFingerprint(res) != rowsFingerprint(want) {
+				t.Error("concurrent prepared query disagrees with ad-hoc result")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -142,20 +142,27 @@ func TestChaosGoldenPlans(t *testing.T) {
 		plan := plan
 		t.Run(plan.name, func(t *testing.T) {
 			db := chaosDB(t, 64, plan.highA4)
-			for _, workers := range []int{1, 4} {
-				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-					runChaosSweep(t, db, plan.sql, plan.strategy, workers)
-				})
+			for _, path := range []ExecutionPath{PathVector, PathRow} {
+				for _, workers := range []int{1, 4} {
+					path, workers := path, workers
+					t.Run(fmt.Sprintf("path=%s/workers=%d", path, workers), func(t *testing.T) {
+						runChaosSweep(t, db, plan.sql, plan.strategy, workers, path)
+					})
+				}
 			}
 		})
 	}
 }
 
-// runChaosSweep is one (plan, workers) cell of the chaos matrix.
-func runChaosSweep(t *testing.T, db *DB, sql string, s Strategy, workers int) {
+// runChaosSweep is one (plan, path, workers) cell of the chaos matrix.
+// On the vector path the recording pass must reach at least one
+// vectorized-kernel entry (SiteVec) — every golden shape has an
+// eligible node — and on the row path none, so the sweep covers faults
+// striking inside vectorized kernels as soon as any node runs one.
+func runChaosSweep(t *testing.T, db *DB, sql string, s Strategy, workers int, path ExecutionPath) {
 	t.Helper()
 	opts := func(extra ...Option) []Option {
-		return append([]Option{WithStrategy(s), WithWorkers(workers)}, extra...)
+		return append([]Option{WithStrategy(s), WithWorkers(workers), WithExecutionPath(path)}, extra...)
 	}
 
 	baseRes, err := db.Query(sql, opts()...)
@@ -183,6 +190,18 @@ func runChaosSweep(t *testing.T, db *DB, sql string, s Strategy, workers int) {
 	visits := rec.Visits()
 	if len(visits) == 0 {
 		t.Fatal("recording pass saw no injection points")
+	}
+	vecPoints := 0
+	for k := range visits {
+		if k.Site == faultinject.SiteVec {
+			vecPoints++
+		}
+	}
+	if path == PathVector && vecPoints == 0 {
+		t.Fatal("vector path recorded no vectorized-kernel injection points")
+	}
+	if path == PathRow && vecPoints != 0 {
+		t.Fatalf("row path recorded %d vectorized-kernel injection points", vecPoints)
 	}
 
 	for _, key := range sortedKeys(visits) {

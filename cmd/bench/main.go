@@ -13,6 +13,8 @@
 //	bench -exp fig7a -workers 4   # run with a 4-worker morsel pool
 //	bench -exp workers -workers 1,2,4   # 1-vs-N parallel speedup sweep
 //	bench -exp concurrency -workers 1,2 -sessions 1,4,8   # concurrent-session sweep
+//	bench -exp predicates         # row vs vectorized path on disjunctive filters
+//	bench -path row               # pin every measured query to one execution path
 //	bench -json .                 # also write BENCH_<exp>.json per experiment
 //	bench -cpuprofile cpu.pprof   # write a pprof CPU profile
 //	bench -memprofile mem.pprof   # write a pprof heap profile
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	osexec "os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -48,6 +51,7 @@ func main() {
 		strategies = flag.String("strategies", "", "comma-separated strategies (default: all of s1,s2,s3,canonical,unnested)")
 		repeat     = flag.Int("repeat", 1, "runs per cell; the fastest is kept")
 		workers    = flag.String("workers", "", "morsel-parallel worker counts: one value applies to every experiment, a comma list drives the 'workers' and 'concurrency' sweeps (default: GOMAXPROCS)")
+		path       = flag.String("path", "", "execution path for every measured query: row or vector (default: engine default, vector; the 'predicates' experiment sweeps both and ignores this)")
 		sessions   = flag.String("sessions", "", "concurrent session counts for the 'concurrency' sweep (default: 1,4,8)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		jsonDir    = flag.String("json", "", "write BENCH_<exp>.json with timings and per-operator breakdowns into this directory")
@@ -88,11 +92,15 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 
+	if *path != "" && *path != "row" && *path != "vector" {
+		fatalf("bad -path %q (want row or vector)", *path)
+	}
 	cfg := harness.Config{
 		Ctx:         ctx,
 		Timeout:     *timeout,
 		RSTScale:    *scale,
 		Repeat:      *repeat,
+		Path:        *path,
 		OpBreakdown: *jsonDir != "",
 	}
 	var workerList []int
@@ -154,16 +162,20 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", id, err)
 		}
+		tab.Meta = harness.CollectMeta(gitDescribe())
 		if *jsonDir != "" {
 			out, err := tab.JSON()
 			if err != nil {
 				fatalf("%s: %v", id, err)
 			}
-			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", id))
-			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			// The filename comes from the table's id, not the experiment
+			// id — they differ only for "predicates", whose table is named
+			// "vector" after what it measures.
+			outPath := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", tab.ID))
+			if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
 				fatalf("%s: %v", id, err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 		}
 		fmt.Println(tab.Format())
 		if id == "workers" && len(tab.Params) > 1 {
@@ -185,6 +197,16 @@ func main() {
 			fmt.Printf("max speedup of unnested over the slowest finished baseline: %.0fx\n\n", best)
 		}
 	}
+}
+
+// gitDescribe identifies the measured revision for the JSON metadata
+// stamp; "" when git or the checkout is unavailable.
+func gitDescribe() string {
+	out, err := osexec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func splitList(s string) []string {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"disqo"
+	"disqo/internal/exec"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		tpchSF   = flag.Float64("tpch", 0, "load TPC-H at this scale factor")
 		full     = flag.Bool("tpch-all", false, "generate all 8 TPC-H tables (default: the 5 Query 2d uses)")
 		strategy = flag.String("strategy", string(disqo.Unnested), "evaluation strategy: s1,s2,s3,canonical,unnested")
+		path     = flag.String("path", "", "execution path: row or vector (default: vector with per-node row fallback)")
 		execSQL  = flag.String("e", "", "execute one statement and exit")
 		explain  = flag.Bool("explain", false, "with -e: explain instead of executing")
 		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
@@ -77,6 +79,13 @@ func main() {
 	}
 
 	sess := &session{db: db, strategy: disqo.Strategy(*strategy), timeout: *timeout}
+	if *path != "" {
+		p, ok := exec.ParsePath(*path)
+		if !ok {
+			fatal(fmt.Errorf("bad -path %q (want row or vector)", *path))
+		}
+		sess.path, sess.pathSet = p, true
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -101,6 +110,10 @@ type session struct {
 	strategy disqo.Strategy
 	timeout  time.Duration
 	tracer   *jsonlTracer
+	// path pins the execution path when pathSet; otherwise queries use
+	// the engine default (vector with per-node row fallback).
+	path    disqo.ExecutionPath
+	pathSet bool
 	// last is the most recent successful query result, for \stats.
 	last *disqo.Result
 }
@@ -109,6 +122,9 @@ func (s *session) options() []disqo.Option {
 	opts := []disqo.Option{disqo.WithStrategy(s.strategy)}
 	if s.timeout > 0 {
 		opts = append(opts, disqo.WithTimeout(s.timeout))
+	}
+	if s.pathSet {
+		opts = append(opts, disqo.WithExecutionPath(s.path))
 	}
 	if s.tracer != nil {
 		opts = append(opts, disqo.WithTracer(s.tracer))

@@ -336,10 +336,12 @@ func (db *DB) cacheReport(source string) *CacheReport {
 }
 
 // resultKey derives the result-cache key for this execution: the
-// physical-plan fingerprint, the strategy (S1 and Canonical share a
-// plan but count work differently), and the pinned version of every
-// referenced table. ok=false means the query is not cacheable (it
-// references something unresolvable) and should just execute.
+// physical-plan fingerprint, the strategy and execution path (S1 and
+// Canonical share a plan but count work differently; the two paths
+// produce byte-identical rows but path-dependent Stats, which the
+// entry stores), and the pinned version of every referenced table.
+// ok=false means the query is not cacheable (it references something
+// unresolvable) and should just execute.
 func (db *DB) resultKey(snap catalog.Reader, cfg queryConfig, pi *planInfo) (cache.ResultKey, bool) {
 	fp, err := pi.fingerprint(snap)
 	if err != nil {
@@ -353,7 +355,11 @@ func (db *DB) resultKey(snap catalog.Reader, cfg queryConfig, pi *planInfo) (cac
 	if strat == "" {
 		strat = Unnested
 	}
-	return cache.ResultKey{Fingerprint: fp, Strategy: string(strat), Tables: versions}, true
+	return cache.ResultKey{
+		Fingerprint: fp,
+		Strategy:    string(strat) + "@" + cfg.path.String(),
+		Tables:      versions,
+	}, true
 }
 
 // collectTables gathers the base tables a plan scans, including inside
@@ -519,7 +525,7 @@ func (s *Stmt) Close() error {
 // (whenever the catalog version and view definitions are unchanged
 // since the strategy's last use).
 func (s *Stmt) Query(opts ...Option) (*Result, error) {
-	cfg := queryConfig{strategy: Unnested}
+	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}

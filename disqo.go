@@ -369,18 +369,60 @@ func (db *DB) LoadTPCH(sf float64, tables ...string) error {
 
 // queryConfig carries per-query options.
 type queryConfig struct {
-	strategy  Strategy
-	timeout   time.Duration
-	maxTuples int64
-	workers   int
-	metrics   bool
-	tracer    Tracer
-	ctx       context.Context
-	fault     *faultinject.Injector
+	strategy   Strategy
+	path       ExecutionPath
+	timeout    time.Duration
+	maxTuples  int64
+	workers    int
+	morselSize int
+	metrics    bool
+	tracer     Tracer
+	ctx        context.Context
+	fault      *faultinject.Injector
+}
+
+// newQueryConfig is the per-call default: unnested strategy on the
+// vectorized path.
+func newQueryConfig() queryConfig {
+	return queryConfig{strategy: Unnested, path: PathVector}
 }
 
 // Option configures a single Query or Explain call.
 type Option func(*queryConfig)
+
+// ExecutionPath selects the evaluation substrate for a query. Both
+// paths produce byte-identical results; the row path is the engine's
+// correctness oracle, the vectorized path is the fast default.
+type ExecutionPath = exec.Path
+
+const (
+	// PathRow interprets plans tuple-at-a-time.
+	PathRow = exec.PathRow
+	// PathVector evaluates eligible operators batch-at-a-time over
+	// columnar vectors, falling back to the row interpreter per node.
+	PathVector = exec.PathVector
+)
+
+// WithExecutionPath selects row or vectorized evaluation (default
+// PathVector). Eligible operators — scans, filters, bypass σ±,
+// hash-join probe sides without residual predicates, projections, and
+// compiled Map expressions — run column-at-a-time on the vectorized
+// path; everything else (and every node whose predicate needs an outer
+// environment, e.g. correlated subqueries) falls back to the row
+// interpreter per node. Results are byte-identical on both paths.
+func WithExecutionPath(p ExecutionPath) Option {
+	return func(c *queryConfig) { c.path = p }
+}
+
+// WithMorselSize sets the chunk length hot operators split their input
+// into (default exec.DefaultMorselSize, 1024). Values are clamped to
+// [exec.MinMorselSize, exec.MaxMorselSize]; the morsel is the unit of
+// work between cancellation polls, so the bound is also a cancellation
+// latency guarantee. For any fixed morsel size, results are
+// byte-identical across worker counts.
+func WithMorselSize(n int) Option {
+	return func(c *queryConfig) { c.morselSize = n }
+}
 
 // WithStrategy selects the optimization strategy (default Unnested).
 func WithStrategy(s Strategy) Option {
@@ -603,15 +645,17 @@ func planCostBased(src catalog.Reader, canonical algebra.Op) (algebra.Op, []stri
 // shared tuple budget when one is configured.
 func (db *DB) execOptions(cfg queryConfig) exec.Options {
 	opt := exec.Options{
-		Cache:     exec.CacheAll,
-		Timeout:   cfg.timeout,
-		MaxTuples: cfg.maxTuples,
-		Workers:   cfg.workers,
-		Metrics:   cfg.metrics,
-		Tracer:    cfg.tracer,
-		Ctx:       cfg.ctx,
-		Fault:     cfg.fault,
-		Budget:    db.budget,
+		Cache:      exec.CacheAll,
+		Timeout:    cfg.timeout,
+		MaxTuples:  cfg.maxTuples,
+		Workers:    cfg.workers,
+		MorselSize: cfg.morselSize,
+		Path:       cfg.path,
+		Metrics:    cfg.metrics,
+		Tracer:     cfg.tracer,
+		Ctx:        cfg.ctx,
+		Fault:      cfg.fault,
+		Budget:     db.budget,
 	}
 	switch cfg.strategy {
 	case S1:
@@ -900,7 +944,7 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 // join a concurrent identical execution via single-flight) do not pass
 // the admission gate; only real executions consume slots.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
-	cfg := queryConfig{strategy: Unnested}
+	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -940,7 +984,7 @@ func subplanNodes(ex *exec.Executor, plan algebra.Op) []physical.Node {
 // pay and unnested plans avoid; every printed counter except time= is
 // byte-identical for any worker count.
 func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
-	cfg := queryConfig{strategy: Unnested}
+	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -1000,7 +1044,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 // physical plan the executor would run (algorithm choices and estimated
 // cardinalities), and the list of applied rewrites.
 func (db *DB) Explain(sql string, opts ...Option) (string, error) {
-	cfg := queryConfig{strategy: Unnested}
+	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -1034,7 +1078,13 @@ func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 		return "", err
 	}
 	b.WriteString("\n== physical plan ==\n")
-	b.WriteString(physical.Explain(phys))
+	b.WriteString(physical.ExplainAnnotated(phys, func(n physical.Node) string {
+		path := "row"
+		if cfg.path == PathVector && physical.Vectorizable(n) {
+			path = "vector"
+		}
+		return fmt.Sprintf("(est %.0f rows) [path=%s]", n.EstRows(), path)
+	}))
 	if len(trace) > 0 {
 		b.WriteString("\n== applied rewrites ==\n")
 		for _, tr := range trace {

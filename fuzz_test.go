@@ -64,6 +64,12 @@ func fuzzFingerprint(res *disqo.Result) string {
 // fingerprint that conflates two different plans all surface here as
 // an identity mismatch.
 //
+// Each strategy also runs on both execution paths (vectorized and
+// tuple-at-a-time row), and successes are compared across paths too:
+// the row path is the correctness oracle, so a vectorized kernel that
+// filters, projects, or joins differently — even in row order — fails
+// the fuzz run as a differential mismatch.
+//
 // verify.sh runs this for a 10s smoke on every full verification;
 // longer sessions: go test -fuzz=FuzzQuery .
 func FuzzQuery(f *testing.F) {
@@ -82,42 +88,47 @@ func FuzzQuery(f *testing.F) {
 	strategies := []disqo.Strategy{disqo.Unnested, disqo.Canonical}
 	f.Fuzz(func(t *testing.T, sql string) {
 		for _, s := range strategies {
-			opts := []disqo.Option{
-				disqo.WithStrategy(s),
-				disqo.WithTimeout(2 * time.Second),
-				disqo.WithTupleLimit(100_000),
-				disqo.WithWorkers(2),
-			}
-			// Errors are expected on arbitrary input; crashes, hangs, and
-			// cold/warm identity mismatches are the failures being hunted.
-			adhoc, adhocErr := db.Query(sql, opts...)
-			stmt, err := db.Prepare(sql)
-			if err != nil {
-				if adhocErr == nil {
-					t.Fatalf("%s: db.Query accepted what Prepare rejected: %v", s, err)
-				}
-				continue
-			}
-			cold, coldErr := stmt.Query(opts...)
-			warm, warmErr := stmt.Query(opts...)
-			// Nondeterministic budgets (timeout) may fail one run and not
-			// another, so identity is only asserted between successes.
+			// Successful fingerprints under this strategy, across both
+			// execution paths and all cache tiers: every pair must agree.
 			var prints []string
-			for _, r := range []struct {
-				res *disqo.Result
-				err error
-			}{{adhoc, adhocErr}, {cold, coldErr}, {warm, warmErr}} {
-				if r.err == nil {
-					prints = append(prints, fuzzFingerprint(r.res))
+			for _, path := range []disqo.ExecutionPath{disqo.PathVector, disqo.PathRow} {
+				opts := []disqo.Option{
+					disqo.WithStrategy(s),
+					disqo.WithExecutionPath(path),
+					disqo.WithTimeout(2 * time.Second),
+					disqo.WithTupleLimit(100_000),
+					disqo.WithWorkers(2),
 				}
+				// Errors are expected on arbitrary input; crashes, hangs, and
+				// identity mismatches are the failures being hunted.
+				adhoc, adhocErr := db.Query(sql, opts...)
+				stmt, err := db.Prepare(sql)
+				if err != nil {
+					if adhocErr == nil {
+						t.Fatalf("%s: db.Query accepted what Prepare rejected: %v", s, err)
+					}
+					continue
+				}
+				cold, coldErr := stmt.Query(opts...)
+				warm, warmErr := stmt.Query(opts...)
+				// Nondeterministic budgets (timeout) may fail one run and not
+				// another, so identity is only asserted between successes.
+				for _, r := range []struct {
+					res *disqo.Result
+					err error
+				}{{adhoc, adhocErr}, {cold, coldErr}, {warm, warmErr}} {
+					if r.err == nil {
+						prints = append(prints, fuzzFingerprint(r.res))
+					}
+				}
+				stmt.Close()
 			}
 			for i := 1; i < len(prints); i++ {
 				if prints[i] != prints[0] {
-					t.Fatalf("%s: prepared/cached runs of %q disagree:\n--- run 0 ---\n%s--- run %d ---\n%s",
+					t.Fatalf("%s: runs of %q disagree across paths/caches:\n--- run 0 ---\n%s--- run %d ---\n%s",
 						s, sql, prints[0], i, prints[i])
 				}
 			}
-			stmt.Close()
 		}
 	})
 }

@@ -68,8 +68,23 @@ type Options struct {
 	MaxTuples int64
 	// Workers is the morsel-parallel worker pool size; <= 0 means
 	// GOMAXPROCS. Hot operators split inputs of at least two morsels
-	// (2×1024 tuples) across the pool; 1 disables parallelism.
+	// across the pool; 1 disables parallelism.
 	Workers int
+	// MorselSize is the chunk length workers claim from the shared
+	// counter; <= 0 means DefaultMorselSize (1024). Values are clamped
+	// to [MinMorselSize, MaxMorselSize]: the morsel is the unit of work
+	// between cancellation polls, so the upper bound caps cancellation
+	// latency while the lower bound keeps scheduling overhead amortized.
+	// Chunk boundaries depend only on the input size and this value, so
+	// results stay byte-identical across worker counts for any fixed
+	// morsel size.
+	MorselSize int
+	// Path selects the evaluation substrate: PathRow interprets
+	// tuple-at-a-time (the correctness oracle), PathVector runs eligible
+	// operators column-at-a-time over storage.Batch vectors, falling
+	// back to the row path per node when the planner found no compiled
+	// kernel. Both paths produce byte-identical results.
+	Path Path
 	// Metrics enables per-operator runtime counters (NodeMetrics),
 	// read back through Executor.NodeMetrics after Run. Off by default:
 	// the disabled path adds no allocations to the hot loops.
@@ -161,6 +176,7 @@ type Executor struct {
 
 	deadline time.Time
 	ticks    int
+	msize    int  // validated Options.MorselSize (see New)
 	isWorker bool // worker clones never fan out again (no nested pools)
 }
 
@@ -180,6 +196,13 @@ type sharedState struct {
 	// path allocation-free.
 	flight     map[memoKey]bool
 	flightDone *sync.Cond // signaled under mu whenever a flight ends
+
+	// batches caches the columnar view of relations the vectorized path
+	// has touched, keyed by row-heap identity, so canonical plans that
+	// re-evaluate a predicate over the same memoized input per outer
+	// tuple pay the row→column conversion once. Guarded by mu; the
+	// per-column vectors inside a Batch have their own synchronization.
+	batches map[*storage.Relation]*storage.Batch
 
 	resident atomic.Int64 // tuples pinned by the memo
 	peak     atomic.Int64 // high-water mark of resident (+ in-flight) tuples
@@ -228,14 +251,25 @@ func New(cat catalog.Reader, opt Options) *Executor {
 		memo:       make(map[memoKey]*storage.Relation),
 		flight:     make(map[memoKey]bool),
 		correlated: make(map[algebra.Op]bool),
+		batches:    make(map[*storage.Relation]*storage.Batch),
 		budget:     opt.Budget,
 	}
 	sh.flightDone = sync.NewCond(&sh.mu)
+	msize := opt.MorselSize
+	switch {
+	case msize <= 0:
+		msize = DefaultMorselSize
+	case msize < MinMorselSize:
+		msize = MinMorselSize
+	case msize > MaxMorselSize:
+		msize = MaxMorselSize
+	}
 	return &Executor{
 		cat:     cat,
 		opt:     opt,
 		planner: physical.NewPlanner(stats.New(cat)),
 		sh:      sh,
+		msize:   msize,
 	}
 }
 
@@ -595,6 +629,9 @@ func (ex *Executor) evalNode(n physical.Node, env *Env) (*storage.Relation, erro
 	case *physical.Scan:
 		return ex.evalScan(x)
 	case *physical.Filter:
+		if ex.useVec() && x.VecPred != nil {
+			return ex.evalFilterVec(x, env)
+		}
 		return ex.evalFilter(x, env)
 	case *physical.BypassFilter:
 		// Reached only via Stream nodes; evaluating the bare node is a
@@ -605,14 +642,23 @@ func (ex *Executor) evalNode(n physical.Node, env *Env) (*storage.Relation, erro
 	case *physical.Stream:
 		return ex.evalStream(x, env)
 	case *physical.Project:
+		if ex.useVec() {
+			return ex.evalProjectVec(x, env)
+		}
 		return ex.evalProject(x, env)
 	case *physical.Rename:
 		return ex.evalRename(x, env)
 	case *physical.Map:
+		if ex.useVec() && x.VecExpr != nil {
+			return ex.evalMapVec(x, env)
+		}
 		return ex.evalMap(x, env)
 	case *physical.Number:
 		return ex.evalNumber(x, env)
 	case *physical.HashJoin:
+		if ex.useVec() && x.Residual == nil {
+			return ex.evalHashJoinVec(x, env)
+		}
 		return ex.evalHashJoin(x, env)
 	case *physical.NLJoin:
 		return ex.evalNLJoin(x, env)
@@ -655,6 +701,11 @@ func (ex *Executor) evalScan(s *physical.Scan) (*storage.Relation, error) {
 		return nil, fmt.Errorf("exec: scan %s: stored arity %d vs plan arity %d",
 			s.Table, tbl.Rel.Schema.Len(), s.Schema().Len())
 	}
+	if ex.useVec() {
+		// The scan's output is the row heap the columnar batches are
+		// built over; mark it as feeding the vectorized path.
+		ex.creditVec(s)
+	}
 	// Share tuple storage; only the schema (qualification) differs.
 	return &storage.Relation{Schema: s.Schema(), Tuples: tbl.Rel.Tuples}, nil
 }
@@ -692,7 +743,13 @@ func (ex *Executor) evalFilter(f *physical.Filter, env *Env) (*storage.Relation,
 func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation, error) {
 	switch src := s.Source.(type) {
 	case *physical.BypassFilter:
-		pos, neg, err := ex.evalBypassFilter(src, env)
+		var pos, neg *storage.Relation
+		var err error
+		if ex.useVec() && src.VecPred != nil {
+			pos, neg, err = ex.evalBypassFilterVec(src, env)
+		} else {
+			pos, neg, err = ex.evalBypassFilter(src, env)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -715,7 +772,11 @@ func (ex *Executor) evalStream(s *physical.Stream, env *Env) (*storage.Relation,
 		var out *storage.Relation
 		var err error
 		if s.Positive {
-			out, err = ex.evalBypassJoinPos(src, env)
+			if ex.useVec() && len(src.LCols) > 0 && src.Residual == nil {
+				out, err = ex.evalBypassJoinPosVec(src, env)
+			} else {
+				out, err = ex.evalBypassJoinPos(src, env)
+			}
 		} else {
 			out, err = ex.evalBypassJoinNeg(src, s, env)
 		}

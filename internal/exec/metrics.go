@@ -32,6 +32,11 @@ type NodeMetrics struct {
 	// HashBuildRows is the total number of build-side tuples hashed for
 	// this operator (hash joins, hash binary grouping).
 	HashBuildRows int64
+	// VecCalls counts evaluations that ran on the vectorized path
+	// (compiled kernels over columnar batches). Credited once per Call
+	// by the kernel's coordinator, so like Calls it is worker-count
+	// independent; Calls-VecCalls evaluations took the row path.
+	VecCalls int64
 	// WallNanos is the cumulative wall time spent evaluating the
 	// operator, inclusive of its children (monotonic clock). Concurrent
 	// subquery evaluations by several workers sum, so it can exceed the
@@ -51,6 +56,7 @@ func (m *NodeMetrics) merge(o *NodeMetrics) {
 	m.RowsOut += o.RowsOut
 	m.Morsels += o.Morsels
 	m.HashBuildRows += o.HashBuildRows
+	m.VecCalls += o.VecCalls
 	m.WallNanos += o.WallNanos
 }
 

@@ -10,26 +10,37 @@ import (
 // Morsel-driven parallelism (Leis et al., adapted to materialized
 // relations): hot operators split their input into fixed-size morsels
 // that a pool of workers claims from a shared counter. Chunk boundaries
-// depend only on the input size — never on the worker count — so any
-// chunk-order merge (grouping, distinct) produces bit-identical results
-// for Workers=1 and Workers=N, keeping golden tests byte-stable.
+// depend only on the input size and the configured morsel size — never
+// on the worker count — so any chunk-order merge (grouping, distinct)
+// produces bit-identical results for Workers=1 and Workers=N, keeping
+// golden tests byte-stable.
 const (
-	// morselSize is the fixed chunk length workers claim.
-	morselSize = 1024
-	// parallelThreshold is the minimum input size worth fanning out:
-	// below two morsels the scheduling overhead dominates.
-	parallelThreshold = 2 * morselSize
+	// DefaultMorselSize is the chunk length workers claim when
+	// Options.MorselSize is unset.
+	DefaultMorselSize = 1024
+	// MinMorselSize bounds Options.MorselSize from below. Cancellation
+	// (context, timeout, abort latch) is polled at every morsel boundary
+	// and every few thousand inner-loop iterations, so smaller morsels
+	// buy nothing in responsiveness and only add scheduling overhead.
+	MinMorselSize = 64
+	// MaxMorselSize bounds Options.MorselSize from above: a morsel is
+	// the unit of work between cancellation polls on the vectorized
+	// path (kernels poll per morsel, not per tuple), so this caps
+	// cancellation latency at 64Ki rows of single-predicate work.
+	MaxMorselSize = 65536
 )
 
 // fanout returns how many workers an input of n tuples should use.
 // Worker clones never fan out again — nested pools would oversubscribe
-// and make inner-operator chunking depend on outer scheduling.
+// and make inner-operator chunking depend on outer scheduling. Below
+// two morsels the scheduling overhead dominates, so the input stays
+// inline.
 func (ex *Executor) fanout(n int) int {
-	if ex.isWorker || n < parallelThreshold {
+	if ex.isWorker || n < 2*ex.msize {
 		return 1
 	}
 	w := ex.opt.Workers
-	if nm := (n + morselSize - 1) / morselSize; w > nm {
+	if nm := (n + ex.msize - 1) / ex.msize; w > nm {
 		w = nm
 	}
 	return w
@@ -63,19 +74,19 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 		// Morsel accounting is derived from the input size alone, never
 		// from the actual chunking, so the counter is identical for
 		// Workers=1 and Workers=N.
-		ex.metric(ex.cur).Morsels += int64((n + morselSize - 1) / morselSize)
+		ex.metric(ex.cur).Morsels += int64((n + ex.msize - 1) / ex.msize)
 	}
 	if ex.fanout(n) <= 1 {
-		if !forceChunks || n <= morselSize {
+		if !forceChunks || n <= ex.msize {
 			res, err := runMorsel(ex, 0, n, f)
 			if err != nil {
 				return nil, err
 			}
 			return []T{res}, nil
 		}
-		results := make([]T, 0, (n+morselSize-1)/morselSize)
-		for lo := 0; lo < n; lo += morselSize {
-			hi := lo + morselSize
+		results := make([]T, 0, (n+ex.msize-1)/ex.msize)
+		for lo := 0; lo < n; lo += ex.msize {
+			hi := lo + ex.msize
 			if hi > n {
 				hi = n
 			}
@@ -88,7 +99,7 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 		return results, nil
 	}
 	workers := ex.fanout(n)
-	nm := (n + morselSize - 1) / morselSize
+	nm := (n + ex.msize - 1) / ex.msize
 	results := make([]T, nm)
 	errs := make([]error, nm)
 	var next atomic.Int64
@@ -108,8 +119,8 @@ func parMorsels[T any](ex *Executor, n int, forceChunks bool, f func(w *Executor
 					errs[m] = ex.sh.abortError()
 					continue
 				}
-				lo := m * morselSize
-				hi := lo + morselSize
+				lo := m * ex.msize
+				hi := lo + ex.msize
 				if hi > n {
 					hi = n
 				}

@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"testing"
+
+	"disqo/internal/catalog"
+)
+
+// TestMorselSizeClamping pins the Options.MorselSize bounds: zero and
+// negatives select the default, and out-of-range values clamp to the
+// documented [MinMorselSize, MaxMorselSize] window rather than error —
+// the option tunes cancellation latency, it never changes results.
+func TestMorselSizeClamping(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, DefaultMorselSize},
+		{-7, DefaultMorselSize},
+		{1, MinMorselSize},
+		{MinMorselSize, MinMorselSize},
+		{5000, 5000},
+		{MaxMorselSize, MaxMorselSize},
+		{MaxMorselSize + 1, MaxMorselSize},
+		{1 << 30, MaxMorselSize},
+	}
+	for _, c := range cases {
+		ex := New(catalog.New(), Options{MorselSize: c.in})
+		if ex.msize != c.want {
+			t.Errorf("MorselSize %d clamped to %d, want %d", c.in, ex.msize, c.want)
+		}
+	}
+}
+
+// TestParsePath covers the flag-level path parser.
+func TestParsePath(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Path
+		ok   bool
+	}{
+		{"row", PathRow, true},
+		{"vector", PathVector, true},
+		{"", PathRow, false},
+		{"simd", PathRow, false},
+	} {
+		got, ok := ParsePath(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParsePath(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if PathRow.String() != "row" || PathVector.String() != "vector" {
+		t.Error("Path.String() drifted from the flag vocabulary")
+	}
+}

@@ -45,6 +45,10 @@ const (
 	// SiteMemoFill is the store of a cacheable operator result into the
 	// shared memo, attributed to the operator being cached.
 	SiteMemoFill
+	// SiteVec is the entry of a vectorized kernel (after its inputs
+	// evaluated, before morsels fan out), attributed to the operator
+	// running vectorized.
+	SiteVec
 )
 
 func (s Site) String() string {
@@ -55,6 +59,8 @@ func (s Site) String() string {
 		return "morsel"
 	case SiteMemoFill:
 		return "memo-fill"
+	case SiteVec:
+		return "vec"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }

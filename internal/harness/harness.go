@@ -74,6 +74,10 @@ type Config struct {
 	// Workers is the morsel-parallel pool size passed to every query;
 	// zero uses the engine default (GOMAXPROCS).
 	Workers int
+	// Path pins the execution path for every measured query: "row" or
+	// "vector". Empty uses the engine default (vector). The predicates
+	// experiment ignores it — sweeping both paths is its point.
+	Path string
 	// OpBreakdown re-runs each finished cell once with metrics enabled
 	// and attaches a per-operator breakdown (Cell.Ops). The extra run is
 	// separate so instrumentation never pollutes the timed measurements.
@@ -150,6 +154,9 @@ type Table struct {
 	Params    []string
 	Strats    []disqo.Strategy
 	Cells     map[disqo.Strategy]map[string]Cell
+	// Meta records the measurement environment; set by the caller
+	// (cmd/bench stamps every table before writing JSON).
+	Meta *RunMeta
 }
 
 func newTable(id, title string, strats []disqo.Strategy) *Table {
@@ -204,8 +211,9 @@ func (t *Table) JSON() ([]byte, error) {
 	doc := struct {
 		ID    string     `json:"experiment"`
 		Title string     `json:"title"`
+		Meta  *RunMeta   `json:"meta,omitempty"`
 		Cells []cellJSON `json:"cells"`
-	}{ID: t.ID, Title: t.Title}
+	}{ID: t.ID, Title: t.Title, Meta: t.Meta}
 	for _, s := range t.Strats {
 		for _, p := range t.Params {
 			c, ok := t.Cells[s][p]
@@ -270,8 +278,22 @@ func formatSeconds(s float64) string {
 	}
 }
 
+// pathOption maps Config.Path to a query option; ok=false means the
+// config doesn't pin a path (engine default).
+func pathOption(path string) (disqo.Option, bool) {
+	switch path {
+	case "row":
+		return disqo.WithExecutionPath(disqo.PathRow), true
+	case "vector":
+		return disqo.WithExecutionPath(disqo.PathVector), true
+	}
+	return nil, false
+}
+
 // measure runs one query under one strategy against a prepared DB.
-func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
+// extra options are appended last, so sweeps can pin per-cell knobs
+// (the predicates experiment pins the execution path).
+func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config, extra ...disqo.Option) Cell {
 	best := Cell{Seconds: math.Inf(1)}
 	for i := 0; i < cfg.Repeat; i++ {
 		opts := []disqo.Option{disqo.WithStrategy(s), disqo.WithTupleLimit(cfg.MaxTuples)}
@@ -281,9 +303,13 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		if cfg.Workers > 0 {
 			opts = append(opts, disqo.WithWorkers(cfg.Workers))
 		}
+		if po, ok := pathOption(cfg.Path); ok {
+			opts = append(opts, po)
+		}
 		if cfg.Ctx != nil {
 			opts = append(opts, disqo.WithContext(cfg.Ctx))
 		}
+		opts = append(opts, extra...)
 		start := time.Now()
 		res, err := db.Query(sql, opts...)
 		elapsed := time.Since(start).Seconds()
@@ -295,7 +321,7 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) Cell {
 		}
 	}
 	if cfg.OpBreakdown {
-		best.Ops = opBreakdown(db, sql, s, cfg)
+		best.Ops = opBreakdown(db, sql, s, cfg, extra...)
 	}
 	return best
 }
@@ -322,7 +348,7 @@ func classifyCell(err error) Cell {
 // opBreakdown runs the query once more with metrics enabled and
 // flattens the per-operator report. Failures simply omit the breakdown;
 // the timed cell already recorded the outcome.
-func opBreakdown(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) []OpBreakdown {
+func opBreakdown(db *disqo.DB, sql string, s disqo.Strategy, cfg Config, extra ...disqo.Option) []OpBreakdown {
 	opts := []disqo.Option{disqo.WithStrategy(s), disqo.WithTupleLimit(cfg.MaxTuples), disqo.WithMetrics()}
 	if cfg.Timeout > 0 {
 		opts = append(opts, disqo.WithTimeout(cfg.Timeout))
@@ -330,6 +356,10 @@ func opBreakdown(db *disqo.DB, sql string, s disqo.Strategy, cfg Config) []OpBre
 	if cfg.Workers > 0 {
 		opts = append(opts, disqo.WithWorkers(cfg.Workers))
 	}
+	if po, ok := pathOption(cfg.Path); ok {
+		opts = append(opts, po)
+	}
+	opts = append(opts, extra...)
 	res, err := db.Query(sql, opts...)
 	if err != nil || res.Metrics() == nil {
 		return nil
@@ -523,7 +553,7 @@ func sameRows(a, b []string) bool {
 }
 
 // Experiment names in presentation order.
-var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency", "cache"}
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency", "cache", "predicates"}
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config, progress func(string)) (*Table, error) {
@@ -548,6 +578,8 @@ func Run(id string, cfg Config, progress func(string)) (*Table, error) {
 		return ConcurrencySweep(cfg, nil, nil, progress)
 	case "cache":
 		return CacheSweep(cfg, progress)
+	case "predicates":
+		return PredicateSweep(cfg, progress)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(Order, ", "))
 	}

@@ -1,0 +1,32 @@
+package harness
+
+import "runtime"
+
+// RunMeta stamps a benchmark table with the environment it was measured
+// in, so a checked-in BENCH_*.json records enough to judge whether two
+// runs are comparable: the toolchain, the parallelism available, and
+// the code revision.
+type RunMeta struct {
+	// GoVersion is runtime.Version() of the binary that measured.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the scheduler's processor limit at measurement time
+	// — the ceiling on morsel-parallel speedup.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GitRev identifies the measured code (git describe --always
+	// --dirty); empty when the build directory is not a git checkout.
+	GitRev string `json:"git_rev,omitempty"`
+}
+
+// CollectMeta snapshots the current process environment. The git
+// revision is the caller's to supply (the harness itself never shells
+// out); pass "" when unknown.
+func CollectMeta(gitRev string) *RunMeta {
+	return &RunMeta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitRev:     gitRev,
+	}
+}

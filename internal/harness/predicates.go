@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"disqo"
+)
+
+// PredicateSweep measures the vectorized execution path against the
+// tuple-at-a-time row path on pure disjunctive filters — the workload
+// the columnar kernels exist for. It sweeps a grid of disjunct counts
+// d ∈ {1,2,4,8} × overall selectivities s ∈ {2%, 20%, 80%} over a
+// single wide integer table:
+//
+//	SELECT COUNT(*) FROM v WHERE c1 < θ OR c2 < θ OR ... (d terms)
+//
+// with θ chosen per cell so the whole disjunction passes the target
+// fraction of rows regardless of d (each of the d independent uniform
+// terms passes 1−(1−s)^(1/d)). The two table rows are the same engine
+// on the same data — only WithExecutionPath differs — so any gap is
+// the batching, not plan differences. Both paths run single-predicate
+// work per row; the harness's identity check confirms equal row counts
+// per cell.
+func PredicateSweep(cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	db := disqo.Open(disqo.WithoutCache())
+	rows := int(200_000 * cfg.RSTScale)
+	if rows < 1000 {
+		rows = 1000
+	}
+	if err := loadPredicateTable(db, rows); err != nil {
+		return nil, err
+	}
+	// The table is named after what it measures, not the experiment id:
+	// cmd/bench writes BENCH_<table-id>.json, so this lands as
+	// BENCH_vector.json.
+	tab := newTable("vector",
+		fmt.Sprintf("disjunctive filter, row vs vectorized path (%d rows, single table)", rows),
+		[]disqo.Strategy{"row", "vector"})
+	paths := []struct {
+		name disqo.Strategy
+		path disqo.ExecutionPath
+	}{{"row", disqo.PathRow}, {"vector", disqo.PathVector}}
+	for _, d := range []int{1, 2, 4, 8} {
+		for _, sel := range []float64{0.02, 0.2, 0.8} {
+			param := fmt.Sprintf("d=%d s=%g", d, sel)
+			sql := predicateQuery(d, sel)
+			var rowCount [2]int
+			for i, p := range paths {
+				if progress != nil {
+					progress(fmt.Sprintf("predicates %s %s", param, p.name))
+				}
+				c := measure(db, sql, disqo.Unnested, cfg, disqo.WithExecutionPath(p.path))
+				tab.set(p.name, param, c)
+				rowCount[i] = c.Rows
+			}
+			if rowCount[0] != rowCount[1] {
+				return nil, fmt.Errorf("harness: predicates %s: row path returned %d rows, vector %d",
+					param, rowCount[0], rowCount[1])
+			}
+		}
+	}
+	return tab, nil
+}
+
+// predicateQuery builds the d-disjunct filter with a threshold hitting
+// the target overall selectivity over values uniform in [0, 10000).
+func predicateQuery(d int, sel float64) string {
+	thr := int(math.Round((1 - math.Pow(1-sel, 1/float64(d))) * 10000))
+	if thr < 1 {
+		thr = 1
+	}
+	terms := make([]string, d)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("c%d < %d", i+1, thr)
+	}
+	return fmt.Sprintf("SELECT COUNT(*) FROM v WHERE %s", strings.Join(terms, " OR "))
+}
+
+// loadPredicateTable creates v(c1..c8 INTEGER) and fills it with
+// deterministic pseudo-random values in [0, 10000) — a splitmix-style
+// hash of (row, column), so every run measures identical data.
+func loadPredicateTable(db *disqo.DB, rows int) error {
+	cols := make([]disqo.Column, 8)
+	for i := range cols {
+		cols[i] = disqo.Column{Name: fmt.Sprintf("c%d", i+1), Type: disqo.TypeInt}
+	}
+	if err := db.CreateTable("v", cols); err != nil {
+		return err
+	}
+	const chunk = 4096
+	buf := make([][]disqo.Value, 0, chunk)
+	for r := 0; r < rows; r++ {
+		row := make([]disqo.Value, 8)
+		for c := range row {
+			row[c] = disqo.Int(int64(predHash(uint64(r), uint64(c)) % 10000))
+		}
+		buf = append(buf, row)
+		if len(buf) == chunk {
+			if err := db.Insert("v", buf...); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return db.Insert("v", buf...)
+	}
+	return nil
+}
+
+// predHash mixes (row, col) into 64 well-spread bits (splitmix64
+// finalizer), keeping the dataset deterministic without seeding any
+// global generator.
+func predHash(r, c uint64) uint64 {
+	z := r*0x9e3779b97f4a7c15 + c*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

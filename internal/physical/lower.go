@@ -67,6 +67,9 @@ func (p *Planner) Lower(op algebra.Op) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Path selection: compile columnar programs for nodes the
+	// vectorized path can run (see vectorize.go).
+	p.vectorize(n)
 	n.setID(p.nextID)
 	p.nextID++
 	p.memo[op] = n

@@ -17,6 +17,7 @@ import (
 	"disqo/internal/algebra"
 	"disqo/internal/storage"
 	"disqo/internal/types"
+	"disqo/internal/vec"
 )
 
 // Node is one physical operator. Children() returns the physical
@@ -92,6 +93,10 @@ type Filter struct {
 	base
 	Child Node
 	Pred  algebra.Expr
+	// VecPred is the compiled columnar program for Pred (with AND/OR
+	// operands cost-ordered), set by the planner's path-selection step
+	// when the predicate vectorizes; nil keeps the node on the row path.
+	VecPred *vec.Pred
 }
 
 // Children implements Node.
@@ -107,6 +112,10 @@ type BypassFilter struct {
 	base
 	Child Node
 	Pred  algebra.Expr
+	// VecPred is the compiled columnar program for Pred; one vectorized
+	// pass forks the input batch into the positive and negative
+	// selection vectors. Nil keeps σ± on the row path.
+	VecPred *vec.Pred
 }
 
 // Children implements Node.
@@ -190,6 +199,9 @@ type Map struct {
 	Child Node
 	Attr  string
 	Expr  algebra.Expr
+	// VecExpr is the compiled columnar program for Expr; nil keeps the
+	// node on the row path.
+	VecExpr *vec.Scalar
 }
 
 // Children implements Node.

@@ -37,6 +37,9 @@ type OpMetrics struct {
 	// Morsels is how many fixed-size input chunks the operator's
 	// parallel loops processed (derived from input size).
 	Morsels int64 `json:"morsels,omitempty"`
+	// VecCalls counts the Calls served by a vectorized kernel; the
+	// remainder ran tuple-at-a-time. Zero on the row path.
+	VecCalls int64 `json:"vec_calls,omitempty"`
 	// HashBuildRows is the total build-side size of hash tables built.
 	HashBuildRows int64 `json:"hash_build_rows,omitempty"`
 	// Wall is the cumulative inclusive evaluation time.
@@ -98,6 +101,7 @@ func newPlanMetrics(root physical.Node, subs []physical.Node, nm []exec.NodeMetr
 				om.RowsIn = m.RowsIn
 				om.RowsOut = m.RowsOut
 				om.Morsels = m.Morsels
+				om.VecCalls = m.VecCalls
 				om.HashBuildRows = m.HashBuildRows
 				om.Wall = m.Wall()
 			}
@@ -168,6 +172,11 @@ func analyzeAnnot(nm []exec.NodeMetrics) func(physical.Node) string {
 		}
 		if m.Morsels > 0 {
 			fmt.Fprintf(&b, ", morsels=%d", m.Morsels)
+		}
+		if m.VecCalls > 0 {
+			b.WriteString(", path=vector")
+		} else {
+			b.WriteString(", path=row")
 		}
 		fmt.Fprintf(&b, ", time=%s)", m.Wall().Round(time.Microsecond))
 		return b.String()

@@ -7,12 +7,14 @@
 # recovery), the concurrency stress suite (snapshot isolation, admission
 # control, shared budget, mixed read/write/DDL stress) under -race, the
 # caching suite under -race (warm-hit identity, invalidation races,
-# single-flight collapse, eviction pressure), tiny runs of the
-# concurrency and cache sweeps through cmd/bench -json, and a 10-second
-# smoke of each native fuzz target.
+# single-flight collapse, eviction pressure), the row-vs-vectorized
+# differential suite under -race on both execution paths, tiny runs of
+# the concurrency, cache, and predicates sweeps through cmd/bench
+# -json, and a 10-second smoke of each native fuzz target.
 set -eux
 
 go build ./...
+test -z "$(gofmt -l .)"
 go test ./...
 go vet ./...
 go test -race ./...
@@ -20,7 +22,9 @@ go test -bench=. -benchtime=1x -run '^$' ./...
 go test -race -run 'TestChaos|TestCancellation|TestQueryContext|TestPanicRecovery' .
 go test -race -run 'TestGate|TestAdmission|TestSnapshotIsolation|TestStressMixed|TestConcurrentInserts|TestSharedTupleBudget' .
 go test -race -run 'TestWarmHit|TestStrategiesDoNotShare|TestCacheDisabled|TestDMLInvalidates|TestViewRedefinition|TestResultCacheEvictionPressure|TestPlanCacheEvictionPressure|TestCachedTuplesCharge|TestSingleFlight|TestCachedReaders|TestPrepare' .
+go test -race -run 'TestPathDifferential|TestMorselSizeByteIdentity|TestAnalyzePath|TestExplainPath|TestVecCalls|TestWorkerCountIndependentVec' .
 go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp cache -scale 0.02 -timeout 30s -q -json "$(mktemp -d)"
+go run ./cmd/bench -exp predicates -scale 0.02 -workers 1 -timeout 30s -q -json "$(mktemp -d)"
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
 go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .

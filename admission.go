@@ -21,6 +21,14 @@ type gate struct {
 	wait   time.Duration // per-query wait budget; 0 = wait indefinitely
 	active int
 	queue  []chan struct{} // FIFO of waiters; a slot grant closes the channel
+
+	// Cumulative telemetry, guarded by mu. admitted counts granted
+	// slots; shed counts ErrOverloaded rejections (a full queue or an
+	// expired wait budget — context cancellations are neither); waitNanos
+	// sums time spent queued, by every waiter, however its wait ended.
+	admitted  int64
+	shed      int64
+	waitNanos int64
 }
 
 // newGate builds a gate; max <= 0 disables admission control (the
@@ -46,16 +54,19 @@ func (g *gate) acquire(ctx context.Context) error {
 	g.mu.Lock()
 	if g.active < g.max {
 		g.active++
+		g.admitted++
 		g.mu.Unlock()
 		return nil
 	}
 	if len(g.queue) >= g.maxQ {
+		g.shed++
 		g.mu.Unlock()
 		return ErrOverloaded
 	}
 	ch := make(chan struct{})
 	g.queue = append(g.queue, ch)
 	g.mu.Unlock()
+	queuedAt := time.Now()
 
 	var timerC <-chan time.Time
 	if g.wait > 0 {
@@ -69,18 +80,39 @@ func (g *gate) acquire(ctx context.Context) error {
 	}
 	select {
 	case <-ch:
+		g.noteWaitEnd(queuedAt, true, false)
 		return nil
 	case <-timerC:
 		if g.abandon(ch) {
+			g.noteWaitEnd(queuedAt, false, true)
 			return ErrOverloaded
 		}
+		g.noteWaitEnd(queuedAt, true, false)
 		return nil // a release granted the slot as the timer fired; keep it
 	case <-done:
 		if g.abandon(ch) {
+			g.noteWaitEnd(queuedAt, false, false)
 			return ctx.Err()
 		}
+		g.noteWaitEnd(queuedAt, true, false)
 		return nil
 	}
+}
+
+// noteWaitEnd accounts the end of a queued wait: the time spent queued,
+// plus whether it ended in a grant or a shed (a context cancellation is
+// neither admitted nor shed).
+func (g *gate) noteWaitEnd(queuedAt time.Time, admitted, shed bool) {
+	d := time.Since(queuedAt)
+	g.mu.Lock()
+	g.waitNanos += int64(d)
+	if admitted {
+		g.admitted++
+	}
+	if shed {
+		g.shed++
+	}
+	g.mu.Unlock()
 }
 
 // abandon removes a waiter from the queue. It returns false when a
@@ -127,4 +159,38 @@ func (g *gate) saturation() (active, queued int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.active, len(g.queue)
+}
+
+// gateStats is the gate's full telemetry snapshot.
+type gateStats struct {
+	max, maxQueued int
+	active, queued int
+	admitted, shed int64
+	waitNanos      int64
+}
+
+// stats snapshots the gate's gauges and counters. A nil gate reports
+// zeros.
+func (g *gate) stats() gateStats {
+	if g == nil {
+		return gateStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return gateStats{
+		max: g.max, maxQueued: g.maxQ,
+		active: g.active, queued: len(g.queue),
+		admitted: g.admitted, shed: g.shed, waitNanos: g.waitNanos,
+	}
+}
+
+// resetStats zeroes the cumulative counters (the gauges are
+// instantaneous and unaffected). A nil gate is a no-op.
+func (g *gate) resetStats() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.admitted, g.shed, g.waitNanos = 0, 0, 0
+	g.mu.Unlock()
 }

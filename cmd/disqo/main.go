@@ -14,6 +14,8 @@
 //	\analyze SELECT ...           same as \explain analyze
 //	\stats                        show the last query's execution counters
 //	\cache                        show plan/result cache counters
+//	\top [n]                      top statements by total wall time
+//	\slow                         dump the slow-query ring
 //	\strategy s2                  switch strategy
 //	\tables                       list tables
 //	\q                            quit
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,17 +42,19 @@ import (
 
 func main() {
 	var (
-		rstSF    = flag.Float64("rst", 0, "load RST at this scale factor (paper SF 1 = 10,000 rows)")
-		tpchSF   = flag.Float64("tpch", 0, "load TPC-H at this scale factor")
-		full     = flag.Bool("tpch-all", false, "generate all 8 TPC-H tables (default: the 5 Query 2d uses)")
-		strategy = flag.String("strategy", string(disqo.Unnested), "evaluation strategy: s1,s2,s3,canonical,unnested")
-		path     = flag.String("path", "", "execution path: row or vector (default: vector with per-node row fallback)")
-		execSQL  = flag.String("e", "", "execute one statement and exit")
-		explain  = flag.Bool("explain", false, "with -e: explain instead of executing")
-		timeout  = flag.Duration("timeout", 0, "query timeout (0 = none)")
-		maxConc  = flag.Int("max-concurrent", 0, "admission limit on concurrent queries (0 = engine default, <0 = unlimited)")
-		traceOut = flag.String("trace", "", "stream per-operator spans as JSON lines to this file")
-		noCache  = flag.Bool("no-cache", false, "disable the plan and result caches (every query re-plans and re-executes)")
+		rstSF     = flag.Float64("rst", 0, "load RST at this scale factor (paper SF 1 = 10,000 rows)")
+		tpchSF    = flag.Float64("tpch", 0, "load TPC-H at this scale factor")
+		full      = flag.Bool("tpch-all", false, "generate all 8 TPC-H tables (default: the 5 Query 2d uses)")
+		strategy  = flag.String("strategy", string(disqo.Unnested), "evaluation strategy: s1,s2,s3,canonical,unnested")
+		path      = flag.String("path", "", "execution path: row or vector (default: vector with per-node row fallback)")
+		execSQL   = flag.String("e", "", "execute one statement and exit")
+		explain   = flag.Bool("explain", false, "with -e: explain instead of executing")
+		timeout   = flag.Duration("timeout", 0, "query timeout (0 = none)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission limit on concurrent queries (0 = engine default, <0 = unlimited)")
+		traceOut  = flag.String("trace", "", "stream per-operator spans as JSON lines to this file")
+		noCache   = flag.Bool("no-cache", false, "disable the plan and result caches (every query re-plans and re-executes)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /statz and /debug/pprof on this address (e.g. localhost:6060)")
+		slowAfter = flag.Duration("slow-after", 0, "capture queries at or over this duration in the slow-query log (see \\slow)")
 	)
 	flag.Parse()
 
@@ -57,7 +62,21 @@ func main() {
 	if *noCache {
 		openOpts = append(openOpts, disqo.WithoutCache())
 	}
+	if *debugAddr != "" {
+		openOpts = append(openOpts, disqo.WithDebugAddr(*debugAddr))
+	}
+	if *slowAfter > 0 {
+		openOpts = append(openOpts, disqo.WithSlowQueryThreshold(*slowAfter))
+	}
 	db := disqo.Open(openOpts...)
+	defer db.Close()
+	if *debugAddr != "" {
+		addr, err := db.DebugAddr()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s (/metrics, /statz, /debug/pprof)\n", addr)
+	}
 	if *rstSF > 0 {
 		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {
 			fatal(err)
@@ -212,6 +231,67 @@ func (s *session) cacheReport() {
 	row("result", cs.Result)
 }
 
+// top prints the n statements that consumed the most total wall time,
+// with their p95 latency and cache-hit rate.
+func (s *session) top(n int) {
+	ws := s.db.WorkloadStats()
+	if !ws.Enabled {
+		fmt.Println("telemetry is disabled")
+		return
+	}
+	if len(ws.Statements) == 0 {
+		fmt.Println("no statements observed yet")
+		return
+	}
+	if n > len(ws.Statements) {
+		n = len(ws.Statements)
+	}
+	fmt.Printf("%-8s %-7s %-6s %-5s %-10s %-10s %-8s  %s\n",
+		"calls", "errors", "sheds", "hit%", "total", "p95", "fp", "sql")
+	for _, st := range ws.Statements[:n] {
+		sql := st.SQL
+		if len(sql) > 60 {
+			sql = sql[:57] + "..."
+		}
+		fmt.Printf("%-8d %-7d %-6d %-5.0f %-10s %-10s %-8s  %s\n",
+			st.Calls, st.Errors, st.Sheds, 100*st.CacheHitRate(),
+			st.TotalWall.Round(time.Microsecond),
+			st.Latency.P95.Round(time.Microsecond),
+			st.Fingerprint[:8], sql)
+	}
+	if ws.DroppedStatements > 0 {
+		fmt.Printf("(%d observations dropped: statement registry full)\n", ws.DroppedStatements)
+	}
+}
+
+// slow dumps the slow-query ring, newest first.
+func (s *session) slow() {
+	ws := s.db.WorkloadStats()
+	if !ws.Enabled {
+		fmt.Println("telemetry is disabled")
+		return
+	}
+	if ws.SlowTotal == 0 {
+		fmt.Println("no slow queries captured (arm with -slow-after)")
+		return
+	}
+	fmt.Printf("%d slow queries captured, showing newest %d:\n", ws.SlowTotal, len(ws.SlowQueries))
+	for _, q := range ws.SlowQueries {
+		fmt.Printf("\n[%s] %s  strategy=%s path=%s rows=%d\n",
+			q.Time.Format("15:04:05.000"), q.Elapsed.Round(time.Microsecond),
+			q.Strategy, q.Path, q.Rows)
+		fmt.Printf("  %s\n", q.SQL)
+		if q.Err != "" {
+			fmt.Printf("  error: %s\n", q.Err)
+		}
+		if q.Plan != "" {
+			for _, line := range strings.Split(strings.TrimRight(q.Plan, "\n"), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+}
+
 // stats prints the execution counters of the last successful query.
 func (s *session) stats() {
 	if s.last == nil {
@@ -295,8 +375,21 @@ func (s *session) command(line string) bool {
 		s.stats()
 	case "\\cache":
 		s.cacheReport()
+	case "\\top":
+		n := 10
+		if len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				fmt.Printf("usage: \\top [n]\n")
+				break
+			}
+			n = v
+		}
+		s.top(n)
+	case "\\slow":
+		s.slow()
 	case "\\help":
-		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
+		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\top [n]                 top statements by total wall time (default 10)\n\\slow                    dump the slow-query ring (arm with -slow-after)\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
 	default:
 		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
 	}

@@ -16,6 +16,7 @@ import (
 	"disqo/internal/physical"
 	"disqo/internal/sqlparser"
 	"disqo/internal/stats"
+	"disqo/internal/telemetry"
 )
 
 // Default cache capacities when caching is enabled without explicit
@@ -94,6 +95,11 @@ type planInfo struct {
 	plan   algebra.Op
 	trace  []string
 	tables []string // referenced base tables, lower-case, sorted
+	// norm is the normalized statement text — the workload-telemetry
+	// registry key (the same normalization the plan-cache key uses), paid
+	// for once at plan build so the per-query observe path stays
+	// allocation-free.
+	norm string
 
 	fpOnce sync.Once
 	fp     uint64
@@ -132,17 +138,24 @@ func (db *DB) buildPlanInfo(snap catalog.Reader, sql string, cfg queryConfig) (*
 	if err != nil {
 		return nil, err
 	}
-	return &planInfo{plan: plan, trace: trace, tables: collectTables(plan)}, nil
+	return &planInfo{
+		plan: plan, trace: trace,
+		tables: collectTables(plan),
+		norm:   normalizeSQL(sql),
+	}, nil
 }
 
 // planFor returns the optimized plan for the statement, consulting the
 // plan cache when one is configured. The key pins the normalized SQL,
 // the strategy, the snapshot's catalog version, and the view epoch, so
 // any DML/DDL commit or view redefinition makes stale entries stop
-// matching — they are never served and age out by LRU.
-func (db *DB) planFor(snap *catalog.Snapshot, sql string, cfg queryConfig) (*planInfo, error) {
+// matching — they are never served and age out by LRU. planHit reports
+// whether optimization was skipped (a cached plan was served), which
+// the telemetry layer counts per statement.
+func (db *DB) planFor(snap *catalog.Snapshot, sql string, cfg queryConfig) (pi *planInfo, planHit bool, err error) {
 	if db.pcache == nil {
-		return db.buildPlanInfo(snap, sql, cfg)
+		pi, err = db.buildPlanInfo(snap, sql, cfg)
+		return pi, false, err
 	}
 	strat := cfg.strategy
 	if strat == "" {
@@ -156,15 +169,15 @@ func (db *DB) planFor(snap *catalog.Snapshot, sql string, cfg queryConfig) (*pla
 	}
 	if v, ok := db.pcache.Get(key); ok {
 		cacheEvent(cfg, "plan", "hit")
-		return v.(*planInfo), nil
+		return v.(*planInfo), true, nil
 	}
 	cacheEvent(cfg, "plan", "miss")
-	pi, err := db.buildPlanInfo(snap, sql, cfg)
+	pi, err = db.buildPlanInfo(snap, sql, cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	db.pcache.Put(key, pi, planInfoBytes(sql, pi))
-	return pi, nil
+	return pi, false, nil
 }
 
 // cachedEntry is the unit the result cache stores: everything needed to
@@ -196,12 +209,16 @@ type cachedEntry struct {
 //     success, fills the cache — charging the entry's tuples against
 //     the shared budget while its executor still holds the execution
 //     charge, so under memory pressure caching loses to live queries.
-func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planInfo) (*Result, error) {
+func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planInfo, planHit bool) (*Result, error) {
 	start := time.Now()
+	if cfg.began.IsZero() {
+		cfg.began = start
+	}
 	// A context that is already done fails here — before the cache
 	// could serve it a result it asked not to wait for.
 	if cfg.ctx != nil {
 		if err := cfg.ctx.Err(); err != nil {
+			db.observe(pi.norm, cfg, planHit, 0, err, telemetry.SourceExecution)
 			return nil, wrapQueryError(sql, cfg, time.Since(start), err)
 		}
 	}
@@ -224,6 +241,7 @@ func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planI
 		switch out {
 		case cache.Hit:
 			if e := v.(*cachedEntry); !cfg.metrics || e.metrics != nil {
+				db.observe(pi.norm, cfg, planHit, int64(len(e.rows)), nil, telemetry.SourceResultCache)
 				return db.resultFromEntry(e, cfg, "result-cache", time.Since(start)), nil
 			}
 			// The entry lacks the per-operator report this query asked
@@ -234,9 +252,11 @@ func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planI
 			if err != nil {
 				// The owner's raw failure (or this waiter's own context
 				// cancellation) wrapped as this query's error.
+				db.observe(pi.norm, cfg, planHit, 0, err, telemetry.SourceSingleFlight)
 				return nil, wrapQueryError(sql, cfg, time.Since(start), err)
 			}
 			if e := v.(*cachedEntry); !cfg.metrics || e.metrics != nil {
+				db.observe(pi.norm, cfg, planHit, int64(len(e.rows)), nil, telemetry.SourceSingleFlight)
 				return db.resultFromEntry(e, cfg, "single-flight", time.Since(start)), nil
 			}
 		case cache.Owner:
@@ -254,6 +274,7 @@ func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planI
 		if flight != nil {
 			db.rcache.Finish(key, flight, nil, err, 0, 0, nil)
 		}
+		db.observe(pi.norm, cfg, planHit, 0, err, telemetry.SourceExecution)
 		return nil, wrapQueryError(sql, cfg, 0, err)
 	}
 	defer db.gate.release()
@@ -266,6 +287,8 @@ func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planI
 		if flight != nil {
 			db.rcache.Finish(key, flight, nil, err, 0, 0, nil)
 		}
+		db.observe(pi.norm, cfg, planHit, 0, err, telemetry.SourceExecution)
+		db.captureSlow(pi.norm, cfg, 0, err, "")
 		return nil, wrapQueryError(sql, cfg, time.Since(execStart), err)
 	}
 	res := &Result{
@@ -276,13 +299,22 @@ func (db *DB) run(snap *catalog.Snapshot, sql string, cfg queryConfig, pi *planI
 		Elapsed:  time.Since(execStart),
 	}
 	var pm *PlanMetrics
+	var annotated string // the ANALYZE-rendered plan, built only for slow offenders
 	if cfg.metrics {
 		if root, err := ex.Plan(pi.plan); err == nil {
 			pm = newPlanMetrics(root, subplanNodes(ex, pi.plan), ex.NodeMetrics())
 			pm.Cache = db.cacheReport("execution")
 			res.metrics = pm
+			if th := db.tele.SlowThreshold(); th > 0 && time.Since(cfg.began) >= th {
+				annotated = physical.ExplainAnnotated(root, analyzeAnnot(ex.NodeMetrics()))
+			}
 		}
 	}
+	db.observe(pi.norm, cfg, planHit, int64(len(res.Rows)), nil, telemetry.SourceExecution)
+	if db.tele != nil && pm != nil {
+		db.tele.ObserveOps(pi.norm, opObs(pm))
+	}
+	db.captureSlow(pi.norm, cfg, int64(len(res.Rows)), nil, annotated)
 	if flight != nil {
 		entry := &cachedEntry{
 			columns:  res.Columns,
@@ -481,6 +513,7 @@ func (db *DB) afterWrite(tables ...string) {
 type Stmt struct {
 	db   *DB
 	sql  string
+	norm string // normalized SQL, the telemetry registry key
 	stmt *sqlparser.SelectStmt
 
 	mu    sync.Mutex
@@ -504,7 +537,10 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, sql: sql, stmt: stmt, plans: make(map[Strategy]*stmtPlan)}, nil
+	return &Stmt{
+		db: db, sql: sql, norm: normalizeSQL(sql), stmt: stmt,
+		plans: make(map[Strategy]*stmtPlan),
+	}, nil
 }
 
 // SQL returns the statement text as prepared.
@@ -529,12 +565,19 @@ func (s *Stmt) Query(opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.began = time.Now()
+	if s.db.tele.SlowThreshold() > 0 {
+		cfg.metrics = true
+	}
 	strat := cfg.strategy
 	if strat == "" {
 		strat = Unnested
 	}
 	epoch := s.db.viewEpoch.Load()
 	snap := s.db.cat.Snapshot()
+	// planHit mirrors the plan-cache meaning: optimization was skipped
+	// because the strategy's derived plan is still valid.
+	planHit := true
 	s.mu.Lock()
 	sp := s.plans[strat]
 	if sp == nil || sp.catVersion != snap.Version() || sp.viewEpoch != epoch {
@@ -546,13 +589,17 @@ func (s *Stmt) Query(opts ...Option) (*Result, error) {
 		sp = &stmtPlan{
 			catVersion: snap.Version(),
 			viewEpoch:  epoch,
-			pi:         &planInfo{plan: plan, trace: trace, tables: collectTables(plan)},
+			pi: &planInfo{
+				plan: plan, trace: trace,
+				tables: collectTables(plan), norm: s.norm,
+			},
 		}
 		s.plans[strat] = sp
+		planHit = false
 	}
 	pi := sp.pi
 	s.mu.Unlock()
-	return s.db.run(snap, s.sql, cfg, pi)
+	return s.db.run(snap, s.sql, cfg, pi, planHit)
 }
 
 // QueryContext is Query with cancellation, mirroring db.QueryContext.

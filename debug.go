@@ -1,0 +1,151 @@
+package disqo
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"disqo/internal/telemetry"
+)
+
+// debugServer is the opt-in observability listener (WithDebugAddr): a
+// plain net/http server on its own mux serving
+//
+//	/metrics      Prometheus text-format exposition of WorkloadStats
+//	/statz        the WorkloadStats snapshot as JSON
+//	/debug/pprof  the standard runtime profiles
+//
+// The server lives until DB.Close, which shuts it down gracefully.
+type debugServer struct {
+	ln       net.Listener
+	srv      *http.Server
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// startDebugServer binds addr and begins serving. A failed bind is
+// returned as an error (Open cannot fail, so the DB records it for
+// DebugAddr to report).
+func startDebugServer(db *DB, addr string) (*debugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(prometheusText(db.WorkloadStats()))
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(db.WorkloadStats())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &debugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// addr returns the listener's bound address (resolving ":0").
+func (ds *debugServer) addr() string {
+	return ds.ln.Addr().String()
+}
+
+// shutdown stops the server gracefully, bounded so Close never hangs on
+// a wedged scraper. Idempotent.
+func (ds *debugServer) shutdown() error {
+	ds.shutOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		ds.shutErr = ds.srv.Shutdown(ctx)
+	})
+	return ds.shutErr
+}
+
+// prometheusText renders a WorkloadStats snapshot in Prometheus text
+// exposition format. Per-statement series are labeled by fingerprint
+// and emitted in fingerprint order, so successive scrapes list series
+// stably.
+func prometheusText(ws WorkloadStats) []byte {
+	var e telemetry.Exposition
+
+	e.Family("disqo_uptime_seconds", "gauge", "Seconds since the database was opened.")
+	e.Value("", ws.Uptime.Seconds())
+
+	e.Family("disqo_queries_total", "counter", "Queries observed, any outcome.")
+	e.Value("", float64(ws.Queries))
+	e.Family("disqo_query_errors_total", "counter", "Queries that failed (excluding admission sheds).")
+	e.Value("", float64(ws.Errors))
+	e.Family("disqo_queries_shed_total", "counter", "Queries shed by admission control (ErrOverloaded).")
+	e.Value("", float64(ws.Sheds))
+	e.Family("disqo_rows_returned_total", "counter", "Rows returned by successful queries.")
+	e.Value("", float64(ws.RowsReturned))
+
+	e.Family("disqo_query_duration_seconds", "histogram", "Successful query latency (log2 buckets).")
+	e.Histogram(ws.Latency)
+
+	e.Family("disqo_statement_calls_total", "counter", "Calls per registered statement.")
+	stmts := telemetry.Snapshot{Statements: ws.Statements}.SortedStatements()
+	for _, st := range stmts {
+		e.Value("", float64(st.Calls), "fingerprint", st.Fingerprint)
+	}
+	e.Family("disqo_statement_seconds_total", "counter", "Total successful wall time per registered statement.")
+	for _, st := range stmts {
+		e.Value("", st.TotalWall.Seconds(), "fingerprint", st.Fingerprint)
+	}
+	e.Family("disqo_statements_dropped_total", "counter", "Observations dropped because the statement registry was full.")
+	e.Value("", float64(ws.DroppedStatements))
+
+	e.Family("disqo_slow_queries_total", "counter", "Queries captured by the slow-query log.")
+	e.Value("", float64(ws.SlowTotal))
+
+	e.Family("disqo_cache_hits_total", "counter", "Cache hits per tier.")
+	e.Value("", float64(ws.Cache.Plan.Hits), "tier", "plan")
+	e.Value("", float64(ws.Cache.Result.Hits), "tier", "result")
+	e.Family("disqo_cache_misses_total", "counter", "Cache misses per tier.")
+	e.Value("", float64(ws.Cache.Plan.Misses), "tier", "plan")
+	e.Value("", float64(ws.Cache.Result.Misses), "tier", "result")
+	e.Family("disqo_cache_evictions_total", "counter", "Cache evictions per tier.")
+	e.Value("", float64(ws.Cache.Plan.Evictions), "tier", "plan")
+	e.Value("", float64(ws.Cache.Result.Evictions), "tier", "result")
+	e.Family("disqo_cache_waits_total", "counter", "Single-flight waits on the result tier.")
+	e.Value("", float64(ws.Cache.Result.Waits))
+	e.Family("disqo_cache_invalidations_total", "counter", "Result-cache entries dropped by write invalidation.")
+	e.Value("", float64(ws.Cache.Result.Invalidations))
+	e.Family("disqo_cache_entries", "gauge", "Resident cache entries per tier.")
+	e.Value("", float64(ws.Cache.Plan.Entries), "tier", "plan")
+	e.Value("", float64(ws.Cache.Result.Entries), "tier", "result")
+	e.Family("disqo_cache_bytes", "gauge", "Resident cache bytes per tier.")
+	e.Value("", float64(ws.Cache.Plan.Bytes), "tier", "plan")
+	e.Value("", float64(ws.Cache.Result.Bytes), "tier", "result")
+
+	e.Family("disqo_admission_active", "gauge", "Queries executing now.")
+	e.Value("", float64(ws.Admission.Active))
+	e.Family("disqo_admission_queued", "gauge", "Queries waiting for an execution slot.")
+	e.Value("", float64(ws.Admission.Queued))
+	e.Family("disqo_admission_admitted_total", "counter", "Execution slots granted.")
+	e.Value("", float64(ws.Admission.Admitted))
+	e.Family("disqo_admission_shed_total", "counter", "Admission rejections (full queue or expired wait).")
+	e.Value("", float64(ws.Admission.Shed))
+	e.Family("disqo_admission_queue_wait_seconds_total", "counter", "Total time queries spent queued.")
+	e.Value("", ws.Admission.QueueWait.Seconds())
+
+	e.Family("disqo_budget_limit_tuples", "gauge", "Shared tuple budget limit (0 = no budget).")
+	e.Value("", float64(ws.Budget.Limit))
+	e.Family("disqo_budget_resident_tuples", "gauge", "Tuples currently charged against the shared budget.")
+	e.Value("", float64(ws.Budget.Resident))
+	e.Family("disqo_budget_peak_tuples", "gauge", "Shared-budget high-water mark since open or reset.")
+	e.Value("", float64(ws.Budget.Peak))
+
+	return e.Bytes()
+}

@@ -46,6 +46,7 @@ import (
 	"disqo/internal/rewrite"
 	"disqo/internal/sqlparser"
 	"disqo/internal/stats"
+	"disqo/internal/telemetry"
 	"disqo/internal/translate"
 	"disqo/internal/types"
 )
@@ -148,6 +149,18 @@ type DB struct {
 	// keys on this too — a redefined view makes cached plans that were
 	// translated through the old definition stop matching.
 	viewEpoch atomic.Uint64
+
+	// tele is the workload-statistics collector every query lifecycle
+	// event flows through; nil when WithoutTelemetry disabled it (the
+	// whole layer then costs one pointer test per query). See
+	// DB.WorkloadStats and DESIGN.md §12.
+	tele *telemetry.Collector
+	// start anchors WorkloadStats.Uptime.
+	start time.Time
+	// debug is the opt-in debug HTTP listener (WithDebugAddr); debugErr
+	// records a failed bind, surfaced by DebugAddr.
+	debug    *debugServer
+	debugErr error
 }
 
 // OpenOptions configures a DB at Open time. The zero value of each
@@ -179,6 +192,21 @@ type OpenOptions struct {
 	// DisableCache turns both cache tiers off; every query re-plans and
 	// re-executes from scratch, byte-identically to a cached run.
 	DisableCache bool
+	// DisableTelemetry turns the workload-statistics layer off: no
+	// statement registry, no latency histograms, no slow-query log.
+	// WorkloadStats still reports cache, admission, and budget state.
+	DisableTelemetry bool
+	// SlowQueryThreshold arms the slow-query ring buffer: every executed
+	// query at or over the threshold is captured with its
+	// ANALYZE-annotated plan. Implies per-operator metrics collection on
+	// every query (the price of always having the annotated plan when an
+	// offender shows up). 0 disables capture.
+	SlowQueryThreshold time.Duration
+	// DebugAddr starts an HTTP listener serving /metrics (Prometheus
+	// text format), /statz (the WorkloadStats snapshot as JSON), and
+	// /debug/pprof. Empty means no listener. Use DB.DebugAddr for the
+	// bound address (":0" picks a free port) and DB.Close to stop it.
+	DebugAddr string
 }
 
 // OpenOption configures Open.
@@ -237,6 +265,33 @@ func WithoutCache() OpenOption {
 	return func(o *OpenOptions) { o.DisableCache = true }
 }
 
+// WithoutTelemetry disables the workload-statistics layer (statement
+// registry, latency histograms, slow-query log). On by default; the
+// telemetry hot path is allocation-free, so disabling it is for
+// measuring the engine's floor, not for everyday use.
+func WithoutTelemetry() OpenOption {
+	return func(o *OpenOptions) { o.DisableTelemetry = true }
+}
+
+// WithSlowQueryThreshold arms the slow-query ring buffer: every
+// executed query at or over d is captured — SQL, strategy, path,
+// elapsed time, and the ANALYZE-annotated physical plan — and kept in a
+// fixed-size ring readable via WorkloadStats (or \slow in the REPL).
+// Arming the threshold turns on per-operator metrics collection for
+// every query, so offenders always carry an annotated plan.
+func WithSlowQueryThreshold(d time.Duration) OpenOption {
+	return func(o *OpenOptions) { o.SlowQueryThreshold = d }
+}
+
+// WithDebugAddr starts a debug HTTP listener on addr serving /metrics
+// (Prometheus text format), /statz (WorkloadStats as JSON), and
+// /debug/pprof (the standard profiles). ":0" binds a free port;
+// DB.DebugAddr reports the bound address or the bind error, and
+// DB.Close shuts the listener down gracefully.
+func WithDebugAddr(addr string) OpenOption {
+	return func(o *OpenOptions) { o.DebugAddr = addr }
+}
+
 // Open creates an empty database. With no options the admission gate
 // admits 8×GOMAXPROCS concurrent queries, queues 4× more, waits
 // without a budget, installs no shared tuple budget, and enables a
@@ -256,6 +311,10 @@ func Open(opts ...OpenOption) *DB {
 		cat:   catalog.New(),
 		views: make(map[string]*sqlparser.SelectStmt),
 		gate:  newGate(o.MaxConcurrent, o.MaxQueued, o.AdmissionWait),
+		start: time.Now(),
+	}
+	if !o.DisableTelemetry {
+		db.tele = telemetry.New(telemetry.Config{SlowThreshold: o.SlowQueryThreshold})
 	}
 	if o.SharedTupleLimit > 0 {
 		db.budget = exec.NewBudget(o.SharedTupleLimit)
@@ -277,7 +336,33 @@ func Open(opts ...OpenOption) *DB {
 				db.budget.TryCharge, db.budget.Release)
 		}
 	}
+	if o.DebugAddr != "" {
+		db.debug, db.debugErr = startDebugServer(db, o.DebugAddr)
+	}
 	return db
+}
+
+// DebugAddr returns the debug HTTP listener's bound address (useful
+// with WithDebugAddr(":0")), or the bind error if the listener failed
+// to start. Without WithDebugAddr both returns are zero.
+func (db *DB) DebugAddr() (string, error) {
+	if db.debugErr != nil {
+		return "", db.debugErr
+	}
+	if db.debug == nil {
+		return "", nil
+	}
+	return db.debug.addr(), nil
+}
+
+// Close releases the DB's background resources — today that is the
+// debug HTTP listener, shut down gracefully. Queries do not require
+// Close and keep working after it; Close is idempotent.
+func (db *DB) Close() error {
+	if db.debug == nil {
+		return nil
+	}
+	return db.debug.shutdown()
 }
 
 // translatorOn builds a statement translator over a catalog view, aware
@@ -379,6 +464,10 @@ type queryConfig struct {
 	tracer     Tracer
 	ctx        context.Context
 	fault      *faultinject.Injector
+	// began anchors the telemetry-observed wall time at API entry, so
+	// recorded latencies include planning and cache lookups — what the
+	// caller actually waited.
+	began time.Time
 }
 
 // newQueryConfig is the per-call default: unnested strategy on the
@@ -948,12 +1037,18 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.began = time.Now()
+	if db.tele.SlowThreshold() > 0 {
+		// Armed slow log: collect per-operator metrics on every query so
+		// an offender always carries its annotated plan.
+		cfg.metrics = true
+	}
 	snap := db.cat.Snapshot()
-	pi, err := db.planFor(snap, sql, cfg)
+	pi, planHit, err := db.planFor(snap, sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return db.run(snap, sql, cfg, pi)
+	return db.run(snap, sql, cfg, pi, planHit)
 }
 
 // QueryContext is Query with cancellation: it runs sql until ctx is
@@ -989,7 +1084,13 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 		o(&cfg)
 	}
 	cfg.metrics = true
+	cfg.began = time.Now()
+	var norm string
+	if db.tele != nil {
+		norm = normalizeSQL(sql)
+	}
 	if err := db.gate.acquire(cfg.ctx); err != nil {
+		db.observe(norm, cfg, false, 0, err, telemetry.SourceExecution)
 		return "", wrapQueryError(sql, cfg, 0, err)
 	}
 	defer db.gate.release()
@@ -1003,6 +1104,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	start := time.Now()
 	rel, err := ex.Run(plan)
 	if err != nil {
+		db.observe(norm, cfg, false, 0, err, telemetry.SourceExecution)
 		return "", wrapQueryError(sql, cfg, time.Since(start), err)
 	}
 	elapsed := time.Since(start)
@@ -1010,6 +1112,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	db.observe(norm, cfg, false, int64(rel.Cardinality()), nil, telemetry.SourceExecution)
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s   rows: %d   elapsed: %s\n",
 		cfg.strategy, rel.Cardinality(), elapsed.Round(time.Microsecond))
@@ -1017,6 +1120,20 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	fmt.Fprintf(&b, "comparisons: %d   tuples: %d   subquery evals: %d   peak resident: %d\n\n",
 		st.Comparisons, st.TuplesOut, st.SubqueryEvals, st.PeakTuples)
 	annot := analyzeAnnot(ex.NodeMetrics())
+	if db.tele != nil {
+		db.tele.ObserveOps(norm, opObs(newPlanMetrics(root, subplanNodes(ex, plan), ex.NodeMetrics())))
+		if th := db.tele.SlowThreshold(); th > 0 && time.Since(cfg.began) >= th {
+			db.tele.RecordSlow(telemetry.SlowQuery{
+				Time:     time.Now(),
+				SQL:      norm,
+				Strategy: string(strategyOf(cfg)),
+				Path:     cfg.path.String(),
+				Elapsed:  time.Since(cfg.began),
+				Rows:     int64(rel.Cardinality()),
+				Plan:     physical.ExplainAnnotated(root, annot),
+			})
+		}
+	}
 	b.WriteString("== physical plan (analyzed) ==\n")
 	b.WriteString(physical.ExplainAnnotated(root, annot))
 	// Nested plans keep subqueries inside operator expressions; their

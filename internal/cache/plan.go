@@ -50,6 +50,15 @@ func (c *PlanCache) Put(k PlanKey, v any, bytes int64) {
 	c.lru.put(k, v, bytes, func(any, any, int64) { c.evictions++ })
 }
 
+// ResetStats zeroes the tier's counters without touching its entries —
+// the hook behind db.ResetStats, so delta measurements start from a
+// clean slate while the cache stays warm.
+func (c *PlanCache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
 // Stats snapshots the tier counters.
 func (c *PlanCache) Stats() TierStats {
 	c.mu.Lock()

@@ -236,6 +236,14 @@ func (c *ResultCache) InvalidateTables(names ...string) int {
 	return dropped
 }
 
+// ResetStats zeroes the tier's counters without touching its entries or
+// in-progress flights — the hook behind db.ResetStats.
+func (c *ResultCache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.waits, c.evictions, c.invalidations = 0, 0, 0, 0, 0
+}
+
 // Stats snapshots the tier counters.
 func (c *ResultCache) Stats() TierStats {
 	c.mu.Lock()

@@ -14,6 +14,9 @@ import "sync/atomic"
 type Budget struct {
 	limit    int64
 	resident atomic.Int64
+	// peak is the high-water mark of resident since creation (or the
+	// last ResetPeak) — the telemetry layer's saturation gauge.
+	peak atomic.Int64
 }
 
 // NewBudget returns a budget allowing up to limit simultaneously
@@ -29,8 +32,42 @@ func (b *Budget) Limit() int64 { return b.limit }
 // Resident returns the tuples currently charged by in-flight queries.
 func (b *Budget) Resident() int64 { return b.resident.Load() }
 
+// Peak returns the high-water mark of Resident since creation or the
+// last ResetPeak. A nil budget reports zero.
+func (b *Budget) Peak() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.peak.Load()
+}
+
+// ResetPeak lowers the watermark to the current residency, so a
+// monitoring loop can measure per-interval peaks. A nil budget is a
+// no-op.
+func (b *Budget) ResetPeak() {
+	if b == nil {
+		return
+	}
+	b.peak.Store(b.resident.Load())
+}
+
+// bumpPeak raises the watermark to r if it is above it.
+func (b *Budget) bumpPeak(r int64) {
+	for {
+		p := b.peak.Load()
+		if r <= p || b.peak.CompareAndSwap(p, r) {
+			return
+		}
+	}
+}
+
 // charge adds n resident tuples (n may be negative on release).
-func (b *Budget) charge(n int64) { b.resident.Add(n) }
+func (b *Budget) charge(n int64) {
+	r := b.resident.Add(n)
+	if n > 0 {
+		b.bumpPeak(r)
+	}
+}
 
 // TryCharge reserves n resident tuples if the budget has room,
 // reporting whether the reservation was taken. The result cache uses it
@@ -47,6 +84,9 @@ func (b *Budget) TryCharge(n int64) bool {
 			return false
 		}
 		if b.resident.CompareAndSwap(cur, cur+n) {
+			if n > 0 {
+				b.bumpPeak(cur + n)
+			}
 			return true
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"disqo"
+	"disqo/internal/telemetry"
 )
 
 // CacheCold and CacheWarm are the pseudo-strategy rows of the cache
@@ -89,6 +90,7 @@ func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
 				cold, warm       Cell
 				coldSum, warmSum float64
 				coldN, warmN     int
+				coldLat, warmLat telemetry.Histogram
 			)
 			prevHits := db.CacheStats().Result.Hits
 			for i := 0; i < slots; i++ {
@@ -103,7 +105,8 @@ func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
 				}
 				start := time.Now()
 				res, err := db.Query(sql, opts...)
-				elapsed := time.Since(start).Seconds()
+				wall := time.Since(start)
+				elapsed := wall.Seconds()
 				if err != nil {
 					c := classifyCell(err)
 					tab.set(CacheCold, param, c)
@@ -116,10 +119,12 @@ func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
 					warmSum += elapsed
 					warmN++
 					warm.Rows = len(res.Rows)
+					warmLat.Record(wall)
 				} else {
 					coldSum += elapsed
 					coldN++
 					cold.Rows = len(res.Rows)
+					coldLat.Record(wall)
 				}
 				prevHits = cs.Result.Hits
 			}
@@ -130,11 +135,13 @@ func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
 			if coldN > 0 {
 				cold.Seconds = coldSum / float64(coldN)
 				cold.Cache = counters
+				cold.Percentiles = percentilesOf(&coldLat)
 				tab.set(CacheCold, param, cold)
 			}
 			if warmN > 0 {
 				warm.Seconds = warmSum / float64(warmN)
 				warm.Cache = counters
+				warm.Percentiles = percentilesOf(&warmLat)
 				tab.set(CacheWarm, param, warm)
 			}
 		}

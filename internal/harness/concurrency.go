@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"disqo"
+	"disqo/internal/telemetry"
 )
 
 // ConcurrencySweep measures multi-session scaling: Q1 (unnested) on RST
@@ -71,6 +72,10 @@ func ConcurrencySweep(cfg Config, workers, sessions []int, progress func(string)
 func runSessions(db *disqo.DB, workers, n int, cfg Config) (Cell, [][]string) {
 	best := Cell{Seconds: math.Inf(1)}
 	canons := make([][]string, n)
+	// Per-query latency across every session of every repeat: the batch
+	// wall time is the headline, but the spread between a session's p50
+	// and p99 is what queueing under contention actually costs a client.
+	var lat telemetry.Histogram
 	for rep := 0; rep < cfg.Repeat; rep++ {
 		var wg sync.WaitGroup
 		errs := make([]error, n)
@@ -88,11 +93,13 @@ func runSessions(db *disqo.DB, workers, n int, cfg Config) (Cell, [][]string) {
 				if cfg.Ctx != nil {
 					opts = append(opts, disqo.WithContext(cfg.Ctx))
 				}
+				qStart := time.Now()
 				res, err := db.Query(Q1, opts...)
 				if err != nil {
 					errs[i] = err
 					return
 				}
+				lat.Record(time.Since(qStart))
 				rows[i] = len(res.Rows)
 				canons[i] = canonicalRows(res)
 			}(i)
@@ -109,5 +116,6 @@ func runSessions(db *disqo.DB, workers, n int, cfg Config) (Cell, [][]string) {
 			best = Cell{Seconds: elapsed, Rows: rows[0]}
 		}
 	}
+	best.Percentiles = percentilesOf(&lat)
 	return best, canons
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"disqo"
+	"disqo/internal/telemetry"
 )
 
 // Q1, Q2, Q3, Q4 are the paper's example queries (§3); Query2d is the
@@ -123,6 +124,36 @@ type Cell struct {
 	// Cache carries the DB-wide cache counters behind this cell; set only
 	// by the cache experiment (timing experiments run cache-cold).
 	Cache *CacheCounters
+	// Percentiles summarizes the cell's per-query latency distribution
+	// (log2-bucketed, so each estimate is the upper bound of its bucket).
+	// Present when the cell measured more than a single latency sample;
+	// Seconds remains the historical headline (minimum, or mean for the
+	// cache experiment).
+	Percentiles *Percentiles
+}
+
+// Percentiles is a cell's latency distribution summary in seconds,
+// estimated from a log2-bucketed histogram of every sample the cell
+// measured (all repeats; for concurrency cells, every session's query).
+type Percentiles struct {
+	P50     float64 `json:"p50"`
+	P95     float64 `json:"p95"`
+	P99     float64 `json:"p99"`
+	Samples int64   `json:"samples"`
+}
+
+// percentilesOf summarizes a histogram, or nil when it holds fewer than
+// two samples (a single measurement has no distribution to report).
+func percentilesOf(h *telemetry.Histogram) *Percentiles {
+	if h.Count() < 2 {
+		return nil
+	}
+	return &Percentiles{
+		P50:     h.Quantile(0.50).Seconds(),
+		P95:     h.Quantile(0.95).Seconds(),
+		P99:     h.Quantile(0.99).Seconds(),
+		Samples: h.Count(),
+	}
 }
 
 // CacheCounters is the cache section of a cell: the counter deltas the
@@ -197,16 +228,17 @@ func contains(ss []string, s string) bool {
 // title, and one object per (system, parameter) cell.
 func (t *Table) JSON() ([]byte, error) {
 	type cellJSON struct {
-		System   string         `json:"system"`
-		Param    string         `json:"param"`
-		Seconds  float64        `json:"seconds,omitempty"`
-		Rows     int            `json:"rows"`
-		TimedOut bool           `json:"timed_out,omitempty"`
-		OverMem  bool           `json:"over_memory,omitempty"`
-		Aborted  bool           `json:"aborted,omitempty"`
-		Error    string         `json:"error,omitempty"`
-		Ops      []OpBreakdown  `json:"ops,omitempty"`
-		Cache    *CacheCounters `json:"cache,omitempty"`
+		System      string         `json:"system"`
+		Param       string         `json:"param"`
+		Seconds     float64        `json:"seconds,omitempty"`
+		Rows        int            `json:"rows"`
+		TimedOut    bool           `json:"timed_out,omitempty"`
+		OverMem     bool           `json:"over_memory,omitempty"`
+		Aborted     bool           `json:"aborted,omitempty"`
+		Error       string         `json:"error,omitempty"`
+		Ops         []OpBreakdown  `json:"ops,omitempty"`
+		Cache       *CacheCounters `json:"cache,omitempty"`
+		Percentiles *Percentiles   `json:"percentiles,omitempty"`
 	}
 	doc := struct {
 		ID    string     `json:"experiment"`
@@ -222,7 +254,8 @@ func (t *Table) JSON() ([]byte, error) {
 			}
 			cj := cellJSON{System: string(s), Param: p, Seconds: c.Seconds,
 				Rows: c.Rows, TimedOut: c.TimedOut, OverMem: c.OverMem,
-				Aborted: c.Aborted, Ops: c.Ops, Cache: c.Cache}
+				Aborted: c.Aborted, Ops: c.Ops, Cache: c.Cache,
+				Percentiles: c.Percentiles}
 			if c.Err != nil {
 				cj.Error = c.Err.Error()
 			}
@@ -295,6 +328,7 @@ func pathOption(path string) (disqo.Option, bool) {
 // (the predicates experiment pins the execution path).
 func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config, extra ...disqo.Option) Cell {
 	best := Cell{Seconds: math.Inf(1)}
+	var lat telemetry.Histogram
 	for i := 0; i < cfg.Repeat; i++ {
 		opts := []disqo.Option{disqo.WithStrategy(s), disqo.WithTupleLimit(cfg.MaxTuples)}
 		if cfg.Timeout > 0 {
@@ -312,14 +346,17 @@ func measure(db *disqo.DB, sql string, s disqo.Strategy, cfg Config, extra ...di
 		opts = append(opts, extra...)
 		start := time.Now()
 		res, err := db.Query(sql, opts...)
-		elapsed := time.Since(start).Seconds()
+		wall := time.Since(start)
+		elapsed := wall.Seconds()
 		if err != nil {
 			return classifyCell(err)
 		}
+		lat.Record(wall)
 		if elapsed < best.Seconds {
 			best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
 		}
 	}
+	best.Percentiles = percentilesOf(&lat)
 	if cfg.OpBreakdown {
 		best.Ops = opBreakdown(db, sql, s, cfg, extra...)
 	}
@@ -497,6 +534,7 @@ func WorkerSweep(cfg Config, workers []int, progress func(string)) (*Table, erro
 			progress(fmt.Sprintf("workers w=%d", w))
 		}
 		best := Cell{Seconds: math.Inf(1)}
+		var lat telemetry.Histogram
 		var canon []string
 		for i := 0; i < cfg.Repeat; i++ {
 			opts := []disqo.Option{disqo.WithStrategy(disqo.Unnested),
@@ -506,15 +544,18 @@ func WorkerSweep(cfg Config, workers []int, progress func(string)) (*Table, erro
 			}
 			start := time.Now()
 			res, err := db.Query(Q1, opts...)
-			elapsed := time.Since(start).Seconds()
+			wall := time.Since(start)
+			elapsed := wall.Seconds()
 			if err != nil {
 				return nil, fmt.Errorf("harness: worker sweep w=%d: %w", w, err)
 			}
+			lat.Record(wall)
 			if elapsed < best.Seconds {
 				best = Cell{Seconds: elapsed, Rows: len(res.Rows)}
 			}
 			canon = canonicalRows(res)
 		}
+		best.Percentiles = percentilesOf(&lat)
 		if baseline == nil {
 			baseline = canon
 		} else if !sameRows(baseline, canon) {

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Exposition builds Prometheus text-format output (version 0.0.4)
+// without external dependencies: a sequence of metric families, each a
+// # HELP / # TYPE header followed by sample lines. Families render in
+// the order they are declared; call Family before Value.
+type Exposition struct {
+	b       strings.Builder
+	current string
+}
+
+// Family starts a new metric family. typ is "counter", "gauge", or
+// "histogram"; help is a one-line description.
+func (e *Exposition) Family(name, typ, help string) {
+	if help != "" {
+		fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&e.b, "# TYPE %s %s\n", name, typ)
+	e.current = name
+}
+
+// Value emits one sample line for the current family. labels are
+// alternating key/value pairs; values are escaped per the text format.
+// suffix ("_sum", "_count", "_bucket", or "") is appended to the family
+// name, as histogram series require.
+func (e *Exposition) Value(suffix string, v float64, labels ...string) {
+	e.b.WriteString(e.current)
+	e.b.WriteString(suffix)
+	if len(labels) > 0 {
+		e.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			// %q yields exactly the text-format label escaping:
+			// backslash, double quote, and \n.
+			fmt.Fprintf(&e.b, "%s=%q", labels[i], labels[i+1])
+		}
+		e.b.WriteByte('}')
+	}
+	fmt.Fprintf(&e.b, " %s\n", formatValue(v))
+}
+
+// Histogram emits a full Prometheus histogram from a LatencySnapshot:
+// cumulative le buckets in seconds, +Inf, _sum and _count.
+func (e *Exposition) Histogram(s LatencySnapshot, labels ...string) {
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := fmt.Sprintf("%g", b.Upper.Seconds())
+		e.Value("_bucket", float64(cum), append(append([]string{}, labels...), "le", le)...)
+	}
+	e.Value("_bucket", float64(s.Count), append(append([]string{}, labels...), "le", "+Inf")...)
+	e.Value("_sum", s.Sum.Seconds(), labels...)
+	e.Value("_count", float64(s.Count), labels...)
+}
+
+// Bytes returns the rendered exposition.
+func (e *Exposition) Bytes() []byte {
+	return []byte(e.b.String())
+}
+
+// formatValue renders floats the way Prometheus expects: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SortedStatements returns the snapshot's statements sorted by
+// fingerprint, the stable order Prometheus scrapes prefer (TotalWall
+// ordering churns between scrapes).
+func (s Snapshot) SortedStatements() []StatementStats {
+	out := make([]StatementStats, len(s.Statements))
+	copy(out, s.Statements)
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-count goldens (testing.AllocsPerRun) skip under
+// race builds: the detector's shadow bookkeeping allocates on paths
+// that are allocation-free in a normal build.
+const RaceEnabled = true

@@ -8,9 +8,13 @@
 # control, shared budget, mixed read/write/DDL stress) under -race, the
 # caching suite under -race (warm-hit identity, invalidation races,
 # single-flight collapse, eviction pressure), the row-vs-vectorized
-# differential suite under -race on both execution paths, tiny runs of
-# the concurrency, cache, and predicates sweeps through cmd/bench
-# -json, and a 10-second smoke of each native fuzz target.
+# differential suite under -race on both execution paths, the workload
+# telemetry suite under -race (ground-truth accounting, concurrent
+# registry identity, allocation golden, slow log, debug endpoint),
+# tiny runs of the concurrency, cache, and predicates sweeps through
+# cmd/bench -json, a debug-listener smoke that scrapes /metrics twice
+# and checks the exposition is well-formed with monotone counters, and
+# a 10-second smoke of each native fuzz target.
 set -eux
 
 go build ./...
@@ -23,8 +27,36 @@ go test -race -run 'TestChaos|TestCancellation|TestQueryContext|TestPanicRecover
 go test -race -run 'TestGate|TestAdmission|TestSnapshotIsolation|TestStressMixed|TestConcurrentInserts|TestSharedTupleBudget' .
 go test -race -run 'TestWarmHit|TestStrategiesDoNotShare|TestCacheDisabled|TestDMLInvalidates|TestViewRedefinition|TestResultCacheEvictionPressure|TestPlanCacheEvictionPressure|TestCachedTuplesCharge|TestSingleFlight|TestCachedReaders|TestPrepare' .
 go test -race -run 'TestPathDifferential|TestMorselSizeByteIdentity|TestAnalyzePath|TestExplainPath|TestVecCalls|TestWorkerCountIndependentVec' .
+go test -race -run 'TestWorkloadStats|TestTelemetry|TestDisabledTelemetry|TestResetStats|TestSlowQuery|TestDebugEndpoint' .
+go test -race ./internal/telemetry
 go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp cache -scale 0.02 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp predicates -scale 0.02 -workers 1 -timeout 30s -q -json "$(mktemp -d)"
+# Debug-listener smoke: hold a REPL open over a FIFO, scrape /metrics
+# around a query, and check the exposition is well-formed (every sample
+# belongs to a "# TYPE"-declared family) with monotone counters.
+dbgdir=$(mktemp -d)
+dbgaddr=127.0.0.1:63990
+mkfifo "$dbgdir/stdin"
+go run ./cmd/disqo -rst 0.01 -debug-addr "$dbgaddr" <"$dbgdir/stdin" >"$dbgdir/repl.out" 2>&1 &
+dbgpid=$!
+exec 9>"$dbgdir/stdin"
+i=0
+until curl -sf "http://$dbgaddr/metrics" >"$dbgdir/m1.txt"; do
+    i=$((i + 1))
+    test "$i" -le 120 || { cat "$dbgdir/repl.out"; exit 1; }
+    sleep 0.5
+done
+echo 'SELECT DISTINCT * FROM r WHERE a4 > 1500;' >&9
+sleep 1
+curl -sf "http://$dbgaddr/metrics" >"$dbgdir/m2.txt"
+exec 9>&-
+wait "$dbgpid"
+awk '/^# TYPE /{t[$3]=1;next} /^#/{next} NF{n=$1;sub(/\{.*/,"",n);b=n;sub(/_(bucket|sum|count)$/,"",b);if(!(n in t)&&!(b in t)){print "undeclared family: "$0;exit 1}}' "$dbgdir/m1.txt"
+q1=$(awk '$1=="disqo_queries_total"{print $2}' "$dbgdir/m1.txt")
+q2=$(awk '$1=="disqo_queries_total"{print $2}' "$dbgdir/m2.txt")
+test "$q2" -gt "$q1"
+rm -rf "$dbgdir"
+
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
 go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .

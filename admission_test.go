@@ -66,7 +66,7 @@ const gateQuery = `SELECT DISTINCT * FROM k`
 // with rows two-column rows.
 func gateDB(t testing.TB, rows int, opts ...OpenOption) *DB {
 	t.Helper()
-	db := Open(opts...)
+	db, _ := Open(opts...)
 	cols := []Column{{Name: "v", Type: types.KindInt}, {Name: "w", Type: types.KindInt}}
 	if err := db.CreateTable("k", cols); err != nil {
 		t.Fatal(err)

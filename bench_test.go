@@ -36,7 +36,7 @@ func benchDB(b *testing.B, key string, load func(*disqo.DB) error) *disqo.DB {
 	}
 	// Benchmarks time executions, so the shared DBs run cache-cold —
 	// b.N iterations of one query must not collapse into warm hits.
-	db := disqo.Open(disqo.WithoutCache())
+	db, _ := disqo.Open(disqo.WithoutCache())
 	if err := load(db); err != nil {
 		b.Fatal(err)
 	}

@@ -23,7 +23,7 @@ const cancelQ1 = `SELECT DISTINCT * FROM r
 // single-flight memo.
 func TestCancellationStress(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	// 3000-row relations: large enough that the canonical strategy's
 	// per-tuple subquery re-evaluation runs for seconds if never
 	// cancelled, and large enough to fan out across morsel workers.
@@ -73,7 +73,7 @@ func TestCancellationStress(t *testing.T) {
 // TestQueryContextPreCancelled covers the fast path: a context that is
 // already done must fail before any evaluation starts.
 func TestQueryContextPreCancelled(t *testing.T) {
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	if err := db.LoadRST(0.02, 0.02, 0.02); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestQueryContextPreCancelled(t *testing.T) {
 // from the engine's own ErrTimeout.
 func TestQueryContextDeadline(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	if err := db.LoadRST(0.3, 0.3, 0.3); err != nil {
 		t.Fatal(err)
 	}

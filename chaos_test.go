@@ -41,7 +41,7 @@ func chaosDB(t testing.TB, rows int, highA4 bool) *DB {
 // cached and cache-disabled databases over the same dataset).
 func chaosDBWith(t testing.TB, rows int, highA4 bool, opts ...OpenOption) *DB {
 	t.Helper()
-	db := Open(opts...)
+	db, _ := Open(opts...)
 	for _, spec := range []struct{ name, p string }{{"r", "a"}, {"s", "b"}, {"t", "c"}} {
 		cols := []Column{
 			{Name: spec.p + "1", Type: types.KindInt},
@@ -275,7 +275,7 @@ func assertInjectedFault(t *testing.T, db *DB, sql string, opts func(...Option) 
 // covers panic recovery at every site.
 func TestChaosParallelFanout(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
-	db := Open()
+	db, _ := Open()
 	if err := db.LoadRST(0.3, 0.3, 0.3); err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,10 @@ func main() {
 	)
 	flag.Parse()
 
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		fatal(err)
+	}
 	switch {
 	case *rstSF > 0:
 		if err := db.LoadRST(*rstSF, *rstSF, *rstSF); err != nil {

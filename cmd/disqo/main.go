@@ -14,6 +14,8 @@
 //	\analyze SELECT ...           same as \explain analyze
 //	\stats                        show the last query's execution counters
 //	\cache                        show plan/result cache counters
+//	\checkpoint                   snapshot the catalog and truncate the WAL (-data)
+//	\wal                          show write-ahead log counters (-data)
 //	\top [n]                      top statements by total wall time
 //	\slow                         dump the slow-query ring
 //	\strategy s2                  switch strategy
@@ -55,6 +57,10 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the plan and result caches (every query re-plans and re-executes)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /statz and /debug/pprof on this address (e.g. localhost:6060)")
 		slowAfter = flag.Duration("slow-after", 0, "capture queries at or over this duration in the slow-query log (see \\slow)")
+		dataDir   = flag.String("data", "", "durable mode: write-ahead log and checkpoints in this directory (recovers on start)")
+		syncEvery = flag.Int("sync-every", 0, "with -data: fsync the WAL after every nth record (group commit; 0/1 = every record)")
+		syncEach  = flag.Duration("sync-interval", 0, "with -data: background WAL fsync interval (bounds a group-commit batch's age)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "with -data: auto-checkpoint after every n logged records (0 = manual \\checkpoint only)")
 	)
 	flag.Parse()
 
@@ -68,8 +74,25 @@ func main() {
 	if *slowAfter > 0 {
 		openOpts = append(openOpts, disqo.WithSlowQueryThreshold(*slowAfter))
 	}
-	db := disqo.Open(openOpts...)
+	if *dataDir != "" {
+		openOpts = append(openOpts, disqo.WithDataDir(*dataDir),
+			disqo.WithSyncEvery(*syncEvery), disqo.WithSyncInterval(*syncEach),
+			disqo.WithCheckpointEvery(*ckptEvery))
+	}
+	db, err := disqo.Open(openOpts...)
+	if err != nil {
+		fatal(err)
+	}
 	defer db.Close()
+	if *dataDir != "" {
+		ws := db.WorkloadStats()
+		tables := "no tables"
+		if ts := db.Tables(); len(ts) > 0 {
+			tables = strings.Join(ts, ", ")
+		}
+		fmt.Fprintf(os.Stderr, "durable mode: %s (recovered %d WAL records; %s)\n",
+			*dataDir, ws.RecoveryReplayedRecords, tables)
+	}
 	if *debugAddr != "" {
 		addr, err := db.DebugAddr()
 		if err != nil {
@@ -292,6 +315,25 @@ func (s *session) slow() {
 	}
 }
 
+// wal prints the write-ahead log's counters (durable mode only).
+func (s *session) wal() {
+	st, ok := s.db.WALStats()
+	if !ok {
+		fmt.Println("not in durable mode (start with -data <dir>)")
+		return
+	}
+	ws := s.db.WorkloadStats()
+	fmt.Printf("appends:    %-8d (%d bytes)\n", st.Appends, st.AppendedBytes)
+	fmt.Printf("fsyncs:     %-8d (%d bytes; p95 %s)\n", st.Syncs, st.SyncedBytes, st.Fsync.P95.Round(time.Microsecond))
+	fmt.Printf("pending:    %d records unsynced\n", st.PendingRecords)
+	fmt.Printf("last LSN:   %d\n", st.LastLSN)
+	fmt.Printf("truncations: %d (checkpoints)\n", st.Truncations)
+	fmt.Printf("recovered:  %d records replayed at open\n", ws.RecoveryReplayedRecords)
+	if st.Sealed {
+		fmt.Println("SEALED: a WAL write failed; restart the process to recover")
+	}
+}
+
 // stats prints the execution counters of the last successful query.
 func (s *session) stats() {
 	if s.last == nil {
@@ -388,8 +430,16 @@ func (s *session) command(line string) bool {
 		s.top(n)
 	case "\\slow":
 		s.slow()
+	case "\\checkpoint":
+		if err := s.db.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Println("checkpoint written, WAL truncated")
+	case "\\wal":
+		s.wal()
 	case "\\help":
-		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\top [n]                 top statements by total wall time (default 10)\n\\slow                    dump the slow-query ring (arm with -slow-after)\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
+		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\top [n]                 top statements by total wall time (default 10)\n\\slow                    dump the slow-query ring (arm with -slow-after)\n\\checkpoint              snapshot the catalog and truncate the WAL (-data)\n\\wal                     show write-ahead log counters (-data)\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
 	default:
 		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
 	}

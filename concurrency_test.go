@@ -135,7 +135,7 @@ func TestStressMixedWorkload(t *testing.T) {
 		iterations = 120
 		tableRows  = 8
 	)
-	db := Open()
+	db, _ := Open()
 	for k := 0; k < updaters; k++ {
 		name := fmt.Sprintf("w%d", k)
 		if err := db.CreateTable(name, []Column{{Name: "v", Type: types.KindInt}}); err != nil {

@@ -561,6 +561,10 @@ func (s *Stmt) Close() error {
 // (whenever the catalog version and view definitions are unchanged
 // since the strategy's last use).
 func (s *Stmt) Query(opts ...Option) (*Result, error) {
+	if err := s.db.begin(); err != nil {
+		return nil, err
+	}
+	defer s.db.end()
 	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)

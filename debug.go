@@ -147,5 +147,32 @@ func prometheusText(ws WorkloadStats) []byte {
 	e.Family("disqo_budget_peak_tuples", "gauge", "Shared-budget high-water mark since open or reset.")
 	e.Value("", float64(ws.Budget.Peak))
 
+	if ws.WAL != nil {
+		e.Family("disqo_wal_appends_total", "counter", "Records appended to the write-ahead log.")
+		e.Value("", float64(ws.WAL.Appends))
+		e.Family("disqo_wal_appended_bytes_total", "counter", "Frame bytes appended to the write-ahead log.")
+		e.Value("", float64(ws.WAL.AppendedBytes))
+		e.Family("disqo_wal_syncs_total", "counter", "WAL fsync calls (group commit batches).")
+		e.Value("", float64(ws.WAL.Syncs))
+		e.Family("disqo_wal_synced_bytes_total", "counter", "Bytes made durable by WAL fsyncs.")
+		e.Value("", float64(ws.WAL.SyncedBytes))
+		e.Family("disqo_wal_truncations_total", "counter", "WAL truncations (checkpoints completed).")
+		e.Value("", float64(ws.WAL.Truncations))
+		e.Family("disqo_wal_pending_records", "gauge", "Appended records not yet fsynced.")
+		e.Value("", float64(ws.WAL.PendingRecords))
+		e.Family("disqo_wal_last_lsn", "gauge", "Highest log sequence number appended.")
+		e.Value("", float64(ws.WAL.LastLSN))
+		sealed := 0.0
+		if ws.WAL.Sealed {
+			sealed = 1
+		}
+		e.Family("disqo_wal_sealed", "gauge", "1 when the WAL sealed after an append/fsync failure.")
+		e.Value("", sealed)
+		e.Family("disqo_wal_fsync_duration_seconds", "histogram", "WAL fsync latency (log2 buckets).")
+		e.Histogram(ws.WAL.Fsync)
+		e.Family("disqo_recovery_replayed_records", "gauge", "WAL records replayed by crash recovery at open.")
+		e.Value("", float64(ws.RecoveryReplayedRecords))
+	}
+
 	return e.Bytes()
 }

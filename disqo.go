@@ -9,7 +9,7 @@
 //
 // Quick start:
 //
-//	db := disqo.Open()
+//	db, _ := disqo.Open()
 //	if err := db.LoadRST(1, 1, 1); err != nil { ... }
 //	res, err := db.Query(`SELECT DISTINCT * FROM r
 //	    WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
@@ -49,6 +49,7 @@ import (
 	"disqo/internal/telemetry"
 	"disqo/internal/translate"
 	"disqo/internal/types"
+	"disqo/internal/wal"
 )
 
 // Value is a SQL scalar value.
@@ -161,6 +162,34 @@ type DB struct {
 	// records a failed bind, surfaced by DebugAddr.
 	debug    *debugServer
 	debugErr error
+
+	// Durability (WithDataDir; see durability.go and DESIGN.md §13).
+	// wal is nil for a volatile DB. The checkpoint bookkeeping fields
+	// are guarded by writeMu (only write statements touch them);
+	// recovering suppresses re-logging while Open replays the log tail
+	// through the ordinary write path.
+	wal             *wal.Log
+	dataDir         string
+	checkpointEvery int
+	sinceCheckpoint int
+	lastCkptErr     error
+	recovering      bool
+	// replayed counts log records applied by crash recovery at Open.
+	replayed atomic.Uint64
+	// viewSQL keeps each view's original CREATE VIEW text (normalized),
+	// keyed like views, so checkpoints can serialize definitions.
+	// Guarded by viewMu.
+	viewSQL map[string]string
+
+	// Close drain lifecycle (see durability.go): every public entry
+	// point brackets itself with begin/end; Close flips closed and
+	// waits for inflight to reach zero.
+	lifeMu       sync.Mutex
+	closed       bool
+	inflight     int
+	idle         chan struct{}
+	closeErr     error
+	drainTimeout time.Duration
 }
 
 // OpenOptions configures a DB at Open time. The zero value of each
@@ -207,6 +236,24 @@ type OpenOptions struct {
 	// /debug/pprof. Empty means no listener. Use DB.DebugAddr for the
 	// bound address (":0" picks a free port) and DB.Close to stop it.
 	DebugAddr string
+	// DataDir makes the database durable: committed writes append to a
+	// write-ahead log under this directory and Open recovers from it.
+	// Empty (the default) keeps the engine fully in-memory.
+	DataDir string
+	// SyncEvery is the WAL group-commit batch: fsync after every nth
+	// record (0 or 1 = every record).
+	SyncEvery int
+	// SyncInterval bounds a group-commit batch's unsynced lifetime with
+	// a background fsync ticker; 0 disables it.
+	SyncInterval time.Duration
+	// CheckpointEvery auto-checkpoints after every n logged records;
+	// 0 checkpoints only on explicit DB.Checkpoint calls.
+	CheckpointEvery int
+	// DrainTimeout bounds Close's wait for in-flight work; 0 waits
+	// indefinitely.
+	DrainTimeout time.Duration
+	// walFault is the crash-chaos hook (withWALFaultInjector).
+	walFault *faultinject.Injector
 }
 
 // OpenOption configures Open.
@@ -292,11 +339,18 @@ func WithDebugAddr(addr string) OpenOption {
 	return func(o *OpenOptions) { o.DebugAddr = addr }
 }
 
-// Open creates an empty database. With no options the admission gate
-// admits 8×GOMAXPROCS concurrent queries, queues 4× more, waits
-// without a budget, installs no shared tuple budget, and enables a
-// 4 MiB plan cache and a 16 MiB result cache.
-func Open(opts ...OpenOption) *DB {
+// Open creates a database. With no options the engine is fully
+// in-memory (volatile) and Open never fails; the admission gate admits
+// 8×GOMAXPROCS concurrent queries, queues 4× more, waits without a
+// budget, installs no shared tuple budget, and enables a 4 MiB plan
+// cache and a 16 MiB result cache.
+//
+// With WithDataDir, Open recovers the directory's committed state
+// before returning: it loads the newest valid snapshot, replays the
+// write-ahead log's tail through the serialized write path, silently
+// truncates a torn final record, and fails with a *RecoveryError for
+// damage a crash cannot explain (DESIGN.md §13).
+func Open(opts ...OpenOption) (*DB, error) {
 	var o OpenOptions
 	for _, fn := range opts {
 		fn(&o)
@@ -308,10 +362,12 @@ func Open(opts ...OpenOption) *DB {
 		o.MaxQueued = 4 * o.MaxConcurrent
 	}
 	db := &DB{
-		cat:   catalog.New(),
-		views: make(map[string]*sqlparser.SelectStmt),
-		gate:  newGate(o.MaxConcurrent, o.MaxQueued, o.AdmissionWait),
-		start: time.Now(),
+		cat:          catalog.New(),
+		views:        make(map[string]*sqlparser.SelectStmt),
+		viewSQL:      make(map[string]string),
+		gate:         newGate(o.MaxConcurrent, o.MaxQueued, o.AdmissionWait),
+		start:        time.Now(),
+		drainTimeout: o.DrainTimeout,
 	}
 	if !o.DisableTelemetry {
 		db.tele = telemetry.New(telemetry.Config{SlowThreshold: o.SlowQueryThreshold})
@@ -336,10 +392,15 @@ func Open(opts ...OpenOption) *DB {
 				db.budget.TryCharge, db.budget.Release)
 		}
 	}
+	if o.DataDir != "" {
+		if err := db.openDurable(o); err != nil {
+			return nil, err
+		}
+	}
 	if o.DebugAddr != "" {
 		db.debug, db.debugErr = startDebugServer(db, o.DebugAddr)
 	}
-	return db
+	return db, nil
 }
 
 // DebugAddr returns the debug HTTP listener's bound address (useful
@@ -355,15 +416,9 @@ func (db *DB) DebugAddr() (string, error) {
 	return db.debug.addr(), nil
 }
 
-// Close releases the DB's background resources — today that is the
-// debug HTTP listener, shut down gracefully. Queries do not require
-// Close and keep working after it; Close is idempotent.
-func (db *DB) Close() error {
-	if db.debug == nil {
-		return nil
-	}
-	return db.debug.shutdown()
-}
+// Close lives in durability.go: it drains in-flight work (bounded by
+// WithDrainTimeout), rejects new admissions with ErrClosed, syncs and
+// closes the WAL, and stops the debug listener.
 
 // translatorOn builds a statement translator over a catalog view, aware
 // of the DB's views as of now (the map is copied under the view lock so
@@ -392,6 +447,28 @@ func (db *DB) Views() []string {
 
 // CreateTable defines a new table.
 func (db *DB) CreateTable(name string, cols []Column) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	pre := db.cat.Version()
+	if err := db.createTableLocked(name, cols); err != nil {
+		return err
+	}
+	if db.logging() {
+		return db.logLocked(wal.KindCreateTable, pre, encodeCreateTableBody(name, cols))
+	}
+	return nil
+}
+
+// createTableLocked is CreateTable's body under writeMu, shared with
+// Exec's CREATE TABLE case (which logs the statement text instead).
+func (db *DB) createTableLocked(name string, cols []Column) error {
 	_, err := db.cat.Create(name, cols)
 	if err == nil {
 		db.afterWrite(name)
@@ -401,6 +478,28 @@ func (db *DB) CreateTable(name string, cols []Column) error {
 
 // DropTable removes a table.
 func (db *DB) DropTable(name string) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	pre := db.cat.Version()
+	if err := db.dropTableLocked(name); err != nil {
+		return err
+	}
+	if db.logging() {
+		return db.logLocked(wal.KindDropTable, pre, []byte(name))
+	}
+	return nil
+}
+
+// dropTableLocked is DropTable's body under writeMu, shared with Exec's
+// DROP TABLE case.
+func (db *DB) dropTableLocked(name string) error {
 	err := db.cat.Drop(name)
 	if err == nil {
 		db.afterWrite(name)
@@ -414,13 +513,26 @@ func (db *DB) Tables() []string { return db.cat.Names() }
 // Insert appends rows to a table. The insert is atomic: either every
 // row commits as one new table version, or (on a type error) none do,
 // and concurrent queries keep reading the previous version throughout.
+// On a durable DB the rows are logged in binary form (not as SQL text),
+// so values round-trip exactly.
 func (db *DB) Insert(table string, rows ...[]Value) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	pre := db.cat.Version()
 	if err := db.cat.InsertRows(table, rows...); err != nil {
 		return err
 	}
 	db.afterWrite(table)
+	if db.logging() {
+		return db.logLocked(wal.KindInsert, pre, encodeInsertBody(table, rows))
+	}
 	return nil
 }
 
@@ -436,7 +548,33 @@ func (db *DB) RowCount(table string) (int, error) {
 // LoadRST generates the paper's synthetic R, S, T tables at the given
 // scale factors (SF 1 = 10,000 rows).
 func (db *DB) LoadRST(sfR, sfS, sfT float64) error {
-	return datagen.LoadRST(db.cat, datagen.RSTConfig{SFR: sfR, SFS: sfS, SFT: sfT})
+	return db.loadRST(datagen.RSTConfig{SFR: sfR, SFS: sfS, SFT: sfT})
+}
+
+// loadRST runs the generator under the write lock. Datagen is seeded
+// and deterministic, so a durable DB logs just the config — replaying
+// it rebuilds the identical rows.
+func (db *DB) loadRST(cfg datagen.RSTConfig) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	pre := db.cat.Version()
+	if err := datagen.LoadRST(db.cat, cfg); err != nil {
+		return err
+	}
+	for _, t := range []string{"r", "s", "t"} {
+		db.afterWrite(t)
+	}
+	if db.logging() {
+		return db.logLocked(wal.KindLoadRST, pre, encodeLoadRSTBody(cfg))
+	}
+	return nil
 }
 
 // LoadTPCH generates TPC-H tables at the given scale factor. With no
@@ -449,7 +587,36 @@ func (db *DB) LoadTPCH(sf float64, tables ...string) error {
 	} else if len(tables) > 0 {
 		cfg.Tables = tables
 	}
-	return datagen.LoadTPCH(db.cat, cfg)
+	return db.loadTPCH(cfg)
+}
+
+// loadTPCH is LoadTPCH's locked body; see loadRST for why only the
+// config is logged.
+func (db *DB) loadTPCH(cfg datagen.TPCHConfig) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	pre := db.cat.Version()
+	if err := datagen.LoadTPCH(db.cat, cfg); err != nil {
+		return err
+	}
+	touched := cfg.Tables
+	if len(touched) == 0 {
+		touched = datagen.TPCHQuery2dTables
+	}
+	for _, t := range touched {
+		db.afterWrite(t)
+	}
+	if db.logging() {
+		return db.logLocked(wal.KindLoadTPCH, pre, encodeLoadTPCHBody(cfg))
+	}
+	return nil
 }
 
 // queryConfig carries per-query options.
@@ -765,12 +932,37 @@ func (db *DB) execOptions(cfg queryConfig) exec.Options {
 // atomically, and in-flight snapshot readers keep the version they
 // pinned.
 func (db *DB) Exec(sql string) (int, error) {
+	if err := db.begin(); err != nil {
+		return 0, err
+	}
+	defer db.end()
 	stmt, err := sqlparser.ParseStatement(sql)
 	if err != nil {
 		return 0, err
 	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if err := db.writeGuard(); err != nil {
+		return 0, err
+	}
+	pre := db.cat.Version()
+	n, err := db.execLocked(stmt, sql)
+	if err == nil && db.logging() {
+		// Log-after-commit: the statement's new version is already live in
+		// memory; its normalized text goes to the WAL before the caller
+		// learns it succeeded. An append/sync failure seals the log and is
+		// reported here — the in-memory commit stands until restart.
+		if lerr := db.logLocked(wal.KindSQL, pre, []byte(normalizeSQL(sql))); lerr != nil {
+			return n, lerr
+		}
+	}
+	return n, err
+}
+
+// execLocked dispatches one parsed statement under writeMu. It never
+// writes to the WAL itself — Exec logs the statement text on success,
+// and the typed APIs (CreateTable, Insert, ...) log binary records.
+func (db *DB) execLocked(stmt sqlparser.Statement, sql string) (int, error) {
 	switch x := stmt.(type) {
 	case *sqlparser.CreateTableStmt:
 		cols := make([]Column, len(x.Columns))
@@ -790,9 +982,9 @@ func (db *DB) Exec(sql string) (int, error) {
 			}
 			cols[i] = Column{Name: c.Name, Type: kind}
 		}
-		return 0, db.CreateTable(x.Name, cols)
+		return 0, db.createTableLocked(x.Name, cols)
 	case *sqlparser.DropTableStmt:
-		return 0, db.DropTable(x.Name)
+		return 0, db.dropTableLocked(x.Name)
 	case *sqlparser.InsertStmt:
 		rows := make([][]Value, len(x.Rows))
 		for r, row := range x.Rows {
@@ -837,6 +1029,7 @@ func (db *DB) Exec(sql string) (int, error) {
 		}
 		db.viewMu.Lock()
 		db.views[key] = x.Body
+		db.viewSQL[key] = normalizeSQL(sql)
 		db.viewMu.Unlock()
 		db.viewEpoch.Add(1)
 		return 0, nil
@@ -848,6 +1041,7 @@ func (db *DB) Exec(sql string) (int, error) {
 			return 0, fmt.Errorf("disqo: no view %q", x.Name)
 		}
 		delete(db.views, key)
+		delete(db.viewSQL, key)
 		db.viewEpoch.Add(1)
 		return 0, nil
 	case *sqlparser.DeleteStmt:
@@ -1033,6 +1227,10 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 // join a concurrent identical execution via single-flight) do not pass
 // the admission gate; only real executions consume slots.
 func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
+	if err := db.begin(); err != nil {
+		return nil, err
+	}
+	defer db.end()
 	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
@@ -1079,6 +1277,10 @@ func subplanNodes(ex *exec.Executor, plan algebra.Op) []physical.Node {
 // pay and unnested plans avoid; every printed counter except time= is
 // byte-identical for any worker count.
 func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
+	if err := db.begin(); err != nil {
+		return "", err
+	}
+	defer db.end()
 	cfg := newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)

@@ -17,7 +17,7 @@ const q2SQL = `SELECT DISTINCT * FROM r
 
 func smallDB(t testing.TB) *DB {
 	t.Helper()
-	db := Open()
+	db, _ := Open()
 	if err := db.LoadRST(0.02, 0.02, 0.02); err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func smallDB(t testing.TB) *DB {
 }
 
 func TestOpenCreateInsertQuery(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	if err := db.CreateTable("emp", []Column{
 		{Name: "id", Type: TypeInt},
 		{Name: "name", Type: TypeString},
@@ -210,7 +210,7 @@ func maskTimes(s string) string {
 }
 
 func TestAnalyzeWorkerCountIndependent(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	// 3000-row tables cross the 2×1024-tuple parallel threshold, so
 	// Workers=4 genuinely fans out.
 	if err := db.LoadRST(0.3, 0.3, 0.1); err != nil {
@@ -296,7 +296,7 @@ func TestResultMetrics(t *testing.T) {
 }
 
 func TestTimeoutOption(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	if err := db.LoadRST(0.5, 0.5, 0.1); err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +384,7 @@ func TestResultString(t *testing.T) {
 }
 
 func TestExecDDLAndDML(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	if _, err := db.Exec("CREATE TABLE emp (id INT, name VARCHAR(10), sal DOUBLE)"); err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestExecDDLAndDML(t *testing.T) {
 }
 
 func TestLoadTPCHThroughAPI(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	if err := db.LoadTPCH(0.01); err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestLoadTPCHThroughAPI(t *testing.T) {
 	if res.Rows[0][0].Int() != 8000 {
 		t.Errorf("partsupp count = %v", res.Rows[0][0])
 	}
-	db2 := Open()
+	db2, _ := Open()
 	if err := db2.LoadTPCH(0.001, "all"); err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestDeleteBasics(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	db.Exec("CREATE TABLE t (x INT, y INT)")
 	db.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (2, 20)")
 	n, err := db.Exec("DELETE FROM t WHERE x = 2")
@@ -53,7 +53,7 @@ func TestDeleteWithSubquery(t *testing.T) {
 }
 
 func TestUpdateBasics(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	db.Exec("CREATE TABLE t (x INT, y INT)")
 	db.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
 	n, err := db.Exec("UPDATE t SET y = y + 1, x = 0 WHERE y >= 20")
@@ -72,7 +72,7 @@ func TestUpdateBasics(t *testing.T) {
 }
 
 func TestUpdateSetFromSubquery(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	db.Exec("CREATE TABLE t (x INT, y INT)")
 	db.Exec("CREATE TABLE u (k INT, v INT)")
 	db.Exec("INSERT INTO t VALUES (1, 0), (2, 0)")
@@ -91,7 +91,7 @@ func TestUpdateSetFromSubquery(t *testing.T) {
 }
 
 func TestUpdateErrors(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	db.Exec("CREATE TABLE t (x INT)")
 	if _, err := db.Exec("UPDATE t SET zz = 1"); err == nil {
 		t.Error("unknown SET column must fail")

@@ -13,13 +13,10 @@ import (
 // admission gate sheds a query: the concurrent-query limit is reached,
 // the FIFO wait queue is full, or the wait budget (WithAdmissionWait)
 // expired before a slot opened. It signals transient overload, not a
-// broken query — callers should back off and retry:
+// broken query — retry with backoff via Retry:
 //
-//	res, err := db.Query(sql)
-//	for errors.Is(err, disqo.ErrOverloaded) {
-//		time.Sleep(backoff())
-//		res, err = db.Query(sql)
-//	}
+//	res, err := disqo.Retry(ctx, disqo.DefaultRetryPolicy(),
+//		func() (*disqo.Result, error) { return db.Query(sql) })
 var ErrOverloaded = errors.New("disqo: overloaded, too many concurrent queries")
 
 // ErrTupleLimit is the documented alias DESIGN.md uses for

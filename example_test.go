@@ -10,7 +10,7 @@ import (
 // The paper's Q1: a linking predicate inside a disjunction, unnested via
 // the bypass strategy.
 func ExampleDB_Query() {
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	db.Exec("CREATE TABLE r (a1 INT, a2 INT, a3 INT, a4 INT)")
 	db.Exec("CREATE TABLE s (b1 INT, b2 INT, b3 INT, b4 INT)")
 	db.Exec("INSERT INTO r VALUES (1, 10, 5, 1000), (2, 20, 6, 2000), (2, 10, 7, 1200)")
@@ -38,7 +38,7 @@ func ExampleDB_Query() {
 // Explain shows the canonical translation next to the unnested bypass
 // plan.
 func ExampleDB_Explain() {
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	db.Exec("CREATE TABLE r (a1 INT, a4 INT)")
 	out, err := db.Explain("SELECT a1 FROM r WHERE a4 > 1500")
 	if err != nil {
@@ -52,7 +52,7 @@ func ExampleDB_Explain() {
 
 // Strategies make the paper's comparison reproducible per query.
 func ExampleWithStrategy() {
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	db.Exec("CREATE TABLE r (a1 INT)")
 	db.Exec("INSERT INTO r VALUES (1), (2)")
 	res, _ := db.Query("SELECT a1 FROM r WHERE a1 > 1",

@@ -21,7 +21,10 @@ func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor")
 	flag.Parse()
 
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := db.LoadTPCH(*sf); err != nil {
 		log.Fatal(err)
 	}

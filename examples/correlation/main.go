@@ -22,7 +22,10 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "RST scale multiplier (paper SF1 = 10,000 rows)")
 	flag.Parse()
 
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := db.LoadRST(*sf, *sf, *sf); err != nil {
 		log.Fatal(err)
 	}

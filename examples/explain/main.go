@@ -14,7 +14,10 @@ import (
 )
 
 func main() {
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := db.LoadRST(0.01, 0.01, 0.01); err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,10 @@ import (
 )
 
 func main() {
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The paper's R and S relations (schema §4.1), tiny and hand-filled.
 	for _, t := range []struct {

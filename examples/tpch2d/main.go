@@ -37,7 +37,10 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-strategy timeout")
 	flag.Parse()
 
-	db := disqo.Open()
+	db, err := disqo.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	if err := db.LoadTPCH(*sf); err != nil {
 		log.Fatal(err)

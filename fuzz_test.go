@@ -13,7 +13,7 @@ import (
 // paper's r/s/t shape with a handful of rows, plus a string column so
 // LIKE and type-mismatch paths are reachable.
 func fuzzDB(tb testing.TB) *disqo.DB {
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	for _, spec := range []struct{ name, p string }{{"r", "a"}, {"s", "b"}, {"t", "c"}} {
 		if err := db.CreateTable(spec.name, []disqo.Column{
 			{Name: spec.p + "1", Type: types.KindInt},

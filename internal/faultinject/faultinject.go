@@ -29,7 +29,9 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
+	"syscall"
 )
 
 // Site classifies the executor locations that report visits.
@@ -49,6 +51,17 @@ const (
 	// evaluated, before morsels fan out), attributed to the operator
 	// running vectorized.
 	SiteVec
+	// SiteWALAppend is a write-ahead-log record append, visited before
+	// any frame byte reaches the log file. Disk site: node is -1.
+	SiteWALAppend
+	// SiteWALSync is a WAL fsync, visited before the kernel sync call.
+	// Disk site: node is -1.
+	SiteWALSync
+	// SiteSnapshot is visited three times per checkpoint: visit 1 before
+	// the snapshot temp file is written, visit 2 after the atomic rename
+	// publishes it (before log truncation), visit 3 after truncation.
+	// Disk site: node is -1.
+	SiteSnapshot
 )
 
 func (s Site) String() string {
@@ -61,13 +74,68 @@ func (s Site) String() string {
 		return "memo-fill"
 	case SiteVec:
 		return "vec"
+	case SiteWALAppend:
+		return "wal-append"
+	case SiteWALSync:
+		return "wal-sync"
+	case SiteSnapshot:
+		return "snapshot"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// ParseSite resolves a site name (the String form) back to a Site; the
+// crash-chaos harness passes sites to its child process by name.
+func ParseSite(name string) (Site, bool) {
+	for _, s := range []Site{SiteOp, SiteMorsel, SiteMemoFill, SiteVec, SiteWALAppend, SiteWALSync, SiteSnapshot} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 // ErrInjected is the sentinel every injected fault wraps (including the
 // value thrown by panic-mode faults, which is an error wrapping it).
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrShortWrite is the sentinel for short-write-mode faults at disk
+// sites: the instrumented writer must write a strict prefix of the
+// intended bytes and then fail with the returned error, leaving a
+// genuinely torn record behind. It wraps ErrInjected.
+var ErrShortWrite = fmt.Errorf("%w: short write", ErrInjected)
+
+// Mode selects what an armed fault does when it fires.
+type Mode uint8
+
+const (
+	// ModeError returns an error wrapping ErrInjected from Visit.
+	ModeError Mode = iota
+	// ModePanic panics with an error wrapping ErrInjected.
+	ModePanic
+	// ModeShortWrite returns an error wrapping ErrShortWrite; disk-site
+	// callers (the WAL) respond by persisting a torn prefix of the write
+	// before surfacing the error.
+	ModeShortWrite
+	// ModeKill SIGKILLs the current process — the crash-chaos harness's
+	// way of dying at an exact disk-site visit with no chance for
+	// deferred cleanup, exactly like a power cut.
+	ModeKill
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeShortWrite:
+		return "short-write"
+	case ModeKill:
+		return "kill"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
 
 // Key identifies one class of injection point: a site plus the physical
 // node ID that visited it. Node is -1 when the visit could not be
@@ -80,8 +148,8 @@ type Key struct {
 func (k Key) String() string { return fmt.Sprintf("%s@%d", k.Site, k.Node) }
 
 type arm struct {
-	nth    int64
-	panics bool
+	nth  int64
+	mode Mode
 }
 
 // Injector counts visits to injection points and fires armed or seeded
@@ -123,8 +191,19 @@ func NewSeeded(seed uint64, period uint64) *Injector {
 // replaces the previous arm. Arming is typically done between queries,
 // but is safe at any time.
 func (in *Injector) Arm(site Site, node int, nth int64, panics bool) {
+	mode := ModeError
+	if panics {
+		mode = ModePanic
+	}
+	in.ArmMode(site, node, nth, mode)
+}
+
+// ArmMode is Arm with an explicit firing mode — the disk sites use
+// ModeShortWrite for torn-write simulation and ModeKill for
+// crash-chaos kill points.
+func (in *Injector) ArmMode(site Site, node int, nth int64, mode Mode) {
 	in.mu.Lock()
-	in.arms[Key{Site: site, Node: node}] = arm{nth: nth, panics: panics}
+	in.arms[Key{Site: site, Node: node}] = arm{nth: nth, mode: mode}
 	in.mu.Unlock()
 }
 
@@ -152,9 +231,10 @@ func (in *Injector) Visit(site Site, node int) error {
 	in.mu.Lock()
 	in.visits[key]++
 	n := in.visits[key]
-	var fire, panics bool
+	var fire bool
+	mode := ModeError
 	if a, ok := in.arms[key]; ok && n == a.nth {
-		fire, panics = true, a.panics
+		fire, mode = true, a.mode
 	} else if in.period > 1 && mix(in.seed, key, n)%in.period == 0 {
 		fire = true
 	}
@@ -165,11 +245,17 @@ func (in *Injector) Visit(site Site, node int) error {
 	if !fire {
 		return nil
 	}
-	err := fmt.Errorf("%w at %s visit %d", ErrInjected, key, n)
-	if panics {
-		panic(err)
+	switch mode {
+	case ModePanic:
+		panic(fmt.Errorf("%w at %s visit %d", ErrInjected, key, n))
+	case ModeShortWrite:
+		return fmt.Errorf("%w at %s visit %d", ErrShortWrite, key, n)
+	case ModeKill:
+		// A real crash: no deferred cleanup, no flushing, no unwinding.
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: wait for the signal to land
 	}
-	return err
+	return fmt.Errorf("%w at %s visit %d", ErrInjected, key, n)
 }
 
 // Visits returns a snapshot of per-key visit counts. A recording pass

@@ -74,7 +74,7 @@ func CacheSweep(cfg Config, progress func(string)) (*Table, error) {
 			if progress != nil {
 				progress("cache " + param)
 			}
-			db := disqo.Open()
+			db, _ := disqo.Open()
 			sf := 5 * cfg.RSTScale
 			if err := db.LoadRST(sf, sf, sf); err != nil {
 				return nil, err

@@ -33,7 +33,7 @@ func ConcurrencySweep(cfg Config, workers, sessions []int, progress func(string)
 	}
 	// Cache-cold like every timing experiment: each session must pay for
 	// its own execution or the contention being measured disappears.
-	db := disqo.Open(disqo.WithoutCache())
+	db, _ := disqo.Open(disqo.WithoutCache())
 	sf := 10 * cfg.RSTScale
 	if err := db.LoadRST(sf, sf, sf); err != nil {
 		return nil, err

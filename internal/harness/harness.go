@@ -424,7 +424,7 @@ func runRSTSweep(id, title, sql string, cfg Config, progress func(string)) (*Tab
 	for _, pair := range rstPairs {
 		// Timing experiments measure execution, not the result cache:
 		// every harness DB runs cache-cold so Repeat keeps honest minima.
-		db := disqo.Open(disqo.WithoutCache())
+		db, _ := disqo.Open(disqo.WithoutCache())
 		if err := db.LoadRST(pair[0]*cfg.RSTScale, pair[1]*cfg.RSTScale, pair[1]*cfg.RSTScale); err != nil {
 			return nil, err
 		}
@@ -454,7 +454,7 @@ func Fig7b(cfg Config, progress func(string)) (*Table, error) {
 	cfg = cfg.withDefaults()
 	tab := newTable("fig7b", "Query 2d: disjunctive linking, MIN on TPC-H (SF)", cfg.Strategies)
 	for _, sf := range cfg.TPCHSFs {
-		db := disqo.Open(disqo.WithoutCache())
+		db, _ := disqo.Open(disqo.WithoutCache())
 		if err := db.LoadTPCH(sf); err != nil {
 			return nil, err
 		}
@@ -477,7 +477,7 @@ func runEqualSweep(id, title, sql string, scaleShrink float64, cfg Config, progr
 	cfg = cfg.withDefaults()
 	tab := newTable(id, title, cfg.Strategies)
 	for _, sf := range equalSFPoints {
-		db := disqo.Open(disqo.WithoutCache())
+		db, _ := disqo.Open(disqo.WithoutCache())
 		eff := sf * cfg.RSTScale * scaleShrink
 		if err := db.LoadRST(eff, eff, eff); err != nil {
 			return nil, err
@@ -520,7 +520,7 @@ func WorkerSweep(cfg Config, workers []int, progress func(string)) (*Table, erro
 	if len(workers) == 0 {
 		workers = []int{1, 2, 4}
 	}
-	db := disqo.Open(disqo.WithoutCache())
+	db, _ := disqo.Open(disqo.WithoutCache())
 	sf := 10 * cfg.RSTScale
 	if err := db.LoadRST(sf, sf, sf); err != nil {
 		return nil, err

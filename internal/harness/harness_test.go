@@ -138,7 +138,7 @@ func TestTimeoutCellsBecomeNA(t *testing.T) {
 		Strategies: []disqo.Strategy{disqo.S1},
 		Timeout:    time.Millisecond,
 	}
-	db := disqo.Open()
+	db, _ := disqo.Open()
 	if err := db.LoadRST(1, 1, 1); err != nil {
 		t.Fatal(err)
 	}

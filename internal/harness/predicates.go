@@ -25,7 +25,7 @@ import (
 // per cell.
 func PredicateSweep(cfg Config, progress func(string)) (*Table, error) {
 	cfg = cfg.withDefaults()
-	db := disqo.Open(disqo.WithoutCache())
+	db, _ := disqo.Open(disqo.WithoutCache())
 	rows := int(200_000 * cfg.RSTScale)
 	if rows < 1000 {
 		rows = 1000

@@ -913,7 +913,11 @@ func (tr *Translator) translateSingleColumn(stmt *sqlparser.SelectStmt, sc *scop
 		return nil, err
 	}
 	col, ok := colExpr.(*algebra.ColRef)
-	if !ok {
+	if !ok || !plan.Schema().Has(col.Name) {
+		// Not a bare column of the subquery block — either a computed
+		// expression or a correlated reference to an outer column
+		// (legal: the item then repeats the outer value per inner row).
+		// Both evaluate under χ, where free columns stay resolvable.
 		plan = algebra.NewMap(plan, "_in", colExpr)
 		col = algebra.Col("_in")
 	}

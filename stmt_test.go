@@ -120,7 +120,7 @@ func TestPrepareReflectsViewRedefinition(t *testing.T) {
 }
 
 func TestPrepareParseError(t *testing.T) {
-	db := Open()
+	db, _ := Open()
 	if _, err := db.Prepare(`SELECT DISTINCT FROM`); err == nil {
 		t.Fatal("Prepare accepted a malformed statement")
 	}

@@ -467,7 +467,7 @@ func TestDebugEndpoint(t *testing.T) {
 	}
 
 	// A second DB on the same port records the bind error for DebugAddr.
-	db2 := Open(WithDebugAddr(addr))
+	db2, _ := Open(WithDebugAddr(addr))
 	if _, err := db2.DebugAddr(); err == nil {
 		t.Fatal("expected bind error on occupied port")
 	}

@@ -22,7 +22,7 @@ var (
 func tpchTestDB(t *testing.T) *disqo.DB {
 	t.Helper()
 	tpchOnce.Do(func() {
-		db := disqo.Open()
+		db, _ := disqo.Open()
 		if err := db.LoadTPCH(0.01, "all"); err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +37,7 @@ func tpchTestDB(t *testing.T) *disqo.DB {
 func tinyTPCHDB(t *testing.T) *disqo.DB {
 	t.Helper()
 	tinyOnce.Do(func() {
-		db := disqo.Open()
+		db, _ := disqo.Open()
 		if err := db.LoadTPCH(0.002, "all"); err != nil {
 			t.Fatal(err)
 		}

@@ -11,10 +11,16 @@
 # differential suite under -race on both execution paths, the workload
 # telemetry suite under -race (ground-truth accounting, concurrent
 # registry identity, allocation golden, slow log, debug endpoint),
-# tiny runs of the concurrency, cache, and predicates sweeps through
-# cmd/bench -json, a debug-listener smoke that scrapes /metrics twice
-# and checks the exposition is well-formed with monotone counters, and
-# a 10-second smoke of each native fuzz target.
+# the durability suite under -race (recovery goldens, close drain,
+# seal-on-failure, WAL metrics) plus the full crash-chaos kill sweep
+# (child SIGKILLed at every WAL/snapshot fault-site visit and 72 random
+# log truncations, every recovered state prefix-legal), a kill -9
+# recovery smoke through the REPL (populate durably, kill the process,
+# reopen, scripted query check), tiny runs of the concurrency, cache,
+# and predicates sweeps through cmd/bench -json, a debug-listener smoke
+# that scrapes /metrics twice and checks the exposition is well-formed
+# with monotone counters, and a 10-second smoke of each native fuzz
+# target (including the WAL frame decoder).
 set -eux
 
 go build ./...
@@ -29,6 +35,9 @@ go test -race -run 'TestWarmHit|TestStrategiesDoNotShare|TestCacheDisabled|TestD
 go test -race -run 'TestPathDifferential|TestMorselSizeByteIdentity|TestAnalyzePath|TestExplainPath|TestVecCalls|TestWorkerCountIndependentVec' .
 go test -race -run 'TestWorkloadStats|TestTelemetry|TestDisabledTelemetry|TestResetStats|TestSlowQuery|TestDebugEndpoint' .
 go test -race ./internal/telemetry
+go test -race -run 'TestDurable|TestRecovery|TestGroupCommit|TestClose|TestVolatile|TestWALSealed|TestRetry' .
+go test -race -run 'TestCrashChaos' .
+go test -race ./internal/wal
 go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp cache -scale 0.02 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp predicates -scale 0.02 -workers 1 -timeout 30s -q -json "$(mktemp -d)"
@@ -58,5 +67,32 @@ q2=$(awk '$1=="disqo_queries_total"{print $2}' "$dbgdir/m2.txt")
 test "$q2" -gt "$q1"
 rm -rf "$dbgdir"
 
+# Crash-recovery smoke through the REPL: populate a durable dir, kill
+# the process without ceremony, reopen, and check the recovered answer.
+crashdir=$(mktemp -d)
+mkfifo "$crashdir/stdin"
+go run ./cmd/disqo -data "$crashdir/data" <"$crashdir/stdin" >"$crashdir/repl.out" 2>&1 &
+crashpid=$!
+exec 8>"$crashdir/stdin"
+echo 'CREATE TABLE k (a INTEGER, b VARCHAR);' >&8
+echo "INSERT INTO k VALUES (1, 'one'), (2, 'two'), (3, NULL);" >&8
+echo 'DELETE FROM k WHERE a = 2;' >&8
+i=0
+until grep -c 'rows affected' "$crashdir/repl.out" | grep -qx 3; do
+    i=$((i + 1))
+    test "$i" -le 120 || { cat "$crashdir/repl.out"; exit 1; }
+    sleep 0.5
+done
+# kill -9 the whole go-run process group: no flush, no deferred cleanup.
+kill -9 "$crashpid" 2>/dev/null || true
+pkill -9 -f "disqo -data $crashdir/data" 2>/dev/null || true
+wait "$crashpid" 2>/dev/null || true
+exec 8>&-
+go run ./cmd/disqo -data "$crashdir/data" -e 'SELECT DISTINCT * FROM k' >"$crashdir/recovered.out" 2>"$crashdir/recovered.err"
+grep -q 'recovered 3 WAL records' "$crashdir/recovered.err"
+grep -q '(2 rows)' "$crashdir/recovered.out"
+rm -rf "$crashdir"
+
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
 go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .
+go test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$' ./internal/wal

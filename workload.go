@@ -173,6 +173,13 @@ type WorkloadStats struct {
 	Cache     CacheStats     `json:"cache"`
 	Admission AdmissionStats `json:"admission"`
 	Budget    BudgetStats    `json:"budget"`
+
+	// WAL is the write-ahead log's counter snapshot; nil for a volatile
+	// DB (WithDataDir unset). RecoveryReplayedRecords counts the log
+	// records crash recovery replayed when this process opened the
+	// directory (0 after a clean shutdown at a checkpoint).
+	WAL                     *WALStats `json:"wal,omitempty"`
+	RecoveryReplayedRecords uint64    `json:"recovery_replayed_records,omitempty"`
 }
 
 // WorkloadStats assembles the DB's observability snapshot. Safe to call
@@ -213,6 +220,11 @@ func (db *DB) WorkloadStats() WorkloadStats {
 			Resident: db.budget.Resident(),
 			Peak:     db.budget.Peak(),
 		}
+	}
+	if db.wal != nil {
+		st := db.wal.Stats()
+		ws.WAL = &st
+		ws.RecoveryReplayedRecords = db.replayed.Load()
 	}
 	return ws
 }

@@ -153,6 +153,8 @@ func main() {
 			tab, err = harness.WorkerSweep(cfg, workerList, progress)
 		} else if id == "concurrency" {
 			tab, err = harness.ConcurrencySweep(cfg, workerList, sessionList, progress)
+		} else if id == "serve" {
+			tab, err = harness.ServeSweep(cfg, sessionList, progress)
 		} else {
 			tab, err = harness.Run(id, cfg, progress)
 		}

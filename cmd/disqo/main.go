@@ -6,6 +6,7 @@
 //	disqo -tpch 0.01               # REPL over TPC-H SF 0.01
 //	disqo -rst 0.1 -e "SELECT ..." # one-shot query
 //	disqo -strategy canonical ...  # pick an evaluation strategy
+//	disqo -connect localhost:4333  # remote shell against a disqod server
 //
 // Inside the REPL:
 //
@@ -61,8 +62,14 @@ func main() {
 		syncEvery = flag.Int("sync-every", 0, "with -data: fsync the WAL after every nth record (group commit; 0/1 = every record)")
 		syncEach  = flag.Duration("sync-interval", 0, "with -data: background WAL fsync interval (bounds a group-commit batch's age)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "with -data: auto-checkpoint after every n logged records (0 = manual \\checkpoint only)")
+		connect   = flag.String("connect", "", "connect to a disqod server at this address instead of embedding the engine")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		connectMode(*connect, *execSQL, *timeout)
+		return
+	}
 
 	openOpts := []disqo.OpenOption{disqo.WithMaxConcurrent(*maxConc)}
 	if *noCache {

@@ -39,6 +39,9 @@ func startDebugServer(db *DB, addr string) (*debugServer, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Write(prometheusText(db.WorkloadStats()))
+		if db.debugExtra != nil {
+			w.Write(db.debugExtra())
+		}
 	})
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -133,6 +136,10 @@ func prometheusText(ws WorkloadStats) []byte {
 	e.Value("", float64(ws.Admission.Active))
 	e.Family("disqo_admission_queued", "gauge", "Queries waiting for an execution slot.")
 	e.Value("", float64(ws.Admission.Queued))
+	e.Family("disqo_admission_queue_depth", "gauge", "Depth of the FIFO admission queue (alias of disqo_admission_queued for dashboards keyed on queue depth).")
+	e.Value("", float64(ws.Admission.Queued))
+	e.Family("disqo_inflight_queries", "gauge", "Public API calls currently inside the engine (the drain counter).")
+	e.Value("", float64(ws.Inflight))
 	e.Family("disqo_admission_admitted_total", "counter", "Execution slots granted.")
 	e.Value("", float64(ws.Admission.Admitted))
 	e.Family("disqo_admission_shed_total", "counter", "Admission rejections (full queue or expired wait).")

@@ -159,9 +159,13 @@ type DB struct {
 	// start anchors WorkloadStats.Uptime.
 	start time.Time
 	// debug is the opt-in debug HTTP listener (WithDebugAddr); debugErr
-	// records a failed bind, surfaced by DebugAddr.
-	debug    *debugServer
-	debugErr error
+	// records a failed bind, surfaced by DebugAddr. debugExtra, when
+	// set (WithDebugMetrics), is called per /metrics scrape and its
+	// output appended after the engine's own families — how disqod
+	// publishes its session gauges on the engine's page.
+	debug      *debugServer
+	debugErr   error
+	debugExtra func() []byte
 
 	// Durability (WithDataDir; see durability.go and DESIGN.md §13).
 	// wal is nil for a volatile DB. The checkpoint bookkeeping fields
@@ -190,6 +194,14 @@ type DB struct {
 	idle         chan struct{}
 	closeErr     error
 	drainTimeout time.Duration
+
+	// Replica apply state (see replica.go): replicaMu serializes the
+	// apply loop and orders strictly before writeMu; replicaLSN is the
+	// last log record applied, replicaSnaps/replicaRecs count applies.
+	replicaMu    sync.Mutex
+	replicaLSN   uint64
+	replicaSnaps uint64
+	replicaRecs  uint64
 }
 
 // OpenOptions configures a DB at Open time. The zero value of each
@@ -236,6 +248,9 @@ type OpenOptions struct {
 	// /debug/pprof. Empty means no listener. Use DB.DebugAddr for the
 	// bound address (":0" picks a free port) and DB.Close to stop it.
 	DebugAddr string
+	// DebugMetrics, when set, is called on each /metrics scrape and its
+	// output appended after the engine's families (WithDebugMetrics).
+	DebugMetrics func() []byte
 	// DataDir makes the database durable: committed writes append to a
 	// write-ahead log under this directory and Open recovers from it.
 	// Empty (the default) keeps the engine fully in-memory.
@@ -339,6 +354,15 @@ func WithDebugAddr(addr string) OpenOption {
 	return func(o *OpenOptions) { o.DebugAddr = addr }
 }
 
+// WithDebugMetrics appends f's output to every /metrics scrape, after
+// the engine's own families. f must return complete Prometheus
+// text-format families and be safe for concurrent calls; disqod uses
+// this to publish its session and connection gauges on the same page
+// as the engine's. Only meaningful together with WithDebugAddr.
+func WithDebugMetrics(f func() []byte) OpenOption {
+	return func(o *OpenOptions) { o.DebugMetrics = f }
+}
+
 // Open creates a database. With no options the engine is fully
 // in-memory (volatile) and Open never fails; the admission gate admits
 // 8×GOMAXPROCS concurrent queries, queues 4× more, waits without a
@@ -398,6 +422,7 @@ func Open(opts ...OpenOption) (*DB, error) {
 		}
 	}
 	if o.DebugAddr != "" {
+		db.debugExtra = o.DebugMetrics
 		db.debug, db.debugErr = startDebugServer(db, o.DebugAddr)
 	}
 	return db, nil

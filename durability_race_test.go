@@ -1,0 +1,199 @@
+// Races the durability layer was built to survive: checkpoints cutting
+// the log while DML commits, Close arriving while a replica apply loop
+// is mid-record, and Close immediately after a recovery replay. All
+// leak-checked; tier-1 runs this file under -race, which is where the
+// lock-ordering guarantees (replicaMu before writeMu, checkpoint under
+// writeMu) actually get exercised.
+package disqo_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"disqo"
+	"disqo/internal/testutil"
+	"disqo/internal/wal"
+)
+
+// TestCheckpointRacesDML hammers Checkpoint from one goroutine while
+// four writers commit DML: every statement must land exactly once in
+// the recovered image regardless of which side of a log truncation it
+// fell on.
+func TestCheckpointRacesDML(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	db, err := disqo.Open(disqo.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE race (w INTEGER, i INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 4, 50
+	var writerWG, ckptWG sync.WaitGroup
+	stopCkpt := make(chan struct{})
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stopCkpt:
+				return
+			default:
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Errorf("checkpoint under DML: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO race VALUES (%d, %d)", w, i)); err != nil {
+					t.Errorf("writer %d insert %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stopCkpt)
+	ckptWG.Wait()
+
+	want := db.StateFingerprint()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := disqo.Open(disqo.WithDataDir(dir))
+	if err != nil {
+		t.Fatalf("recovery after checkpoint/DML race: %v", err)
+	}
+	defer db2.Close()
+	if got := db2.StateFingerprint(); got != want {
+		t.Fatalf("recovered fingerprint %016x != live %016x", got, want)
+	}
+	res, err := db2.Query("SELECT COUNT(*) FROM race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].IntOk(); n != writers*perWriter {
+		t.Fatalf("recovered %d rows, want %d", n, writers*perWriter)
+	}
+}
+
+// TestCloseDuringReplicaApply drives a real writer's WAL records into a
+// replica from one goroutine and closes the replica mid-stream from
+// another. The apply loop must end with ErrClosed (never deadlock
+// between replicaMu, writeMu, and the drain latch), and whatever prefix
+// applied must be consistent.
+func TestCloseDuringReplicaApply(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// Build a real record stream: a writer's log carries the catalog
+	// pre-image versions the apply path verifies against.
+	dir := t.TempDir()
+	w, err := disqo.Open(disqo.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := w.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(wal.LogPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err := wal.Scan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 8; trial++ {
+		rdb, err := disqo.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := make(chan int, 1)
+		closeAt := make(chan struct{})
+		go func() {
+			n := 0
+			for i, rec := range recs {
+				if i == 3+trial*9 {
+					close(closeAt)
+				}
+				if err := rdb.ReplicaApplyRecord(rec); err != nil {
+					if !errors.Is(err, disqo.ErrClosed) {
+						t.Errorf("trial %d: apply error %v, want ErrClosed", trial, err)
+					}
+					break
+				}
+				n++
+			}
+			applied <- n
+		}()
+		<-closeAt
+		if err := rdb.Close(); err != nil {
+			t.Fatalf("trial %d: close during apply: %v", trial, err)
+		}
+		n := <-applied
+		if got := rdb.ReplicaState().AppliedLSN; got != recs[n-1].LSN {
+			t.Fatalf("trial %d: applied LSN %d after %d records, want %d", trial, got, n, recs[n-1].LSN)
+		}
+	}
+}
+
+// TestCloseImmediatelyAfterRecovery closes the instant Open returns
+// from a replay-heavy directory. Close cannot arrive *during* recovery
+// — replay runs inside Open, before any handle exists to close — so
+// the adversarial window is the first instant afterwards: the WAL is
+// live, the group-commit ticker may be armed, and nothing has ever
+// been queried.
+func TestCloseImmediatelyAfterRecovery(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	db, err := disqo.Open(disqo.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := db.StateFingerprint()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		db, err := disqo.Open(disqo.WithDataDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ws := db.WorkloadStats(); ws.RecoveryReplayedRecords == 0 {
+			t.Fatal("directory opened without replaying anything; the test lost its teeth")
+		}
+		if got := db.StateFingerprint(); got != want {
+			t.Fatalf("open %d: fingerprint %016x != %016x", i, got, want)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("immediate close %d: %v", i, err)
+		}
+	}
+}

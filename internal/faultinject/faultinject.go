@@ -62,6 +62,22 @@ const (
 	// publishes it (before log truncation), visit 3 after truncation.
 	// Disk site: node is -1.
 	SiteSnapshot
+	// SiteAccept is a server accept: one visit per accepted TCP
+	// connection, before any session state exists. Network site: node
+	// is -1.
+	SiteAccept
+	// SiteConnRead is a completed request frame read off a client
+	// connection, visited before the frame is parsed. A fired fault is
+	// treated as a connection loss. Network site: node is -1.
+	SiteConnRead
+	// SiteConnWrite is a response frame write to a client connection,
+	// visited before any byte is written. A fired fault is treated as a
+	// write failure and tears the session down. Network site: node is -1.
+	SiteConnWrite
+	// SiteReplicaApply is the replica's apply loop: one visit per
+	// replication frame (snapshot, record, or heartbeat) before it is
+	// applied. Network site: node is -1.
+	SiteReplicaApply
 )
 
 func (s Site) String() string {
@@ -80,6 +96,14 @@ func (s Site) String() string {
 		return "wal-sync"
 	case SiteSnapshot:
 		return "snapshot"
+	case SiteAccept:
+		return "accept"
+	case SiteConnRead:
+		return "conn-read"
+	case SiteConnWrite:
+		return "conn-write"
+	case SiteReplicaApply:
+		return "replica-apply"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -87,7 +111,7 @@ func (s Site) String() string {
 // ParseSite resolves a site name (the String form) back to a Site; the
 // crash-chaos harness passes sites to its child process by name.
 func ParseSite(name string) (Site, bool) {
-	for _, s := range []Site{SiteOp, SiteMorsel, SiteMemoFill, SiteVec, SiteWALAppend, SiteWALSync, SiteSnapshot} {
+	for _, s := range []Site{SiteOp, SiteMorsel, SiteMemoFill, SiteVec, SiteWALAppend, SiteWALSync, SiteSnapshot, SiteAccept, SiteConnRead, SiteConnWrite, SiteReplicaApply} {
 		if s.String() == name {
 			return s, true
 		}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"disqo"
+	"disqo/internal/server"
+	"disqo/internal/telemetry"
+)
+
+// ServeSweep measures what the network front-end costs: Q1 (unnested)
+// on RST 10×10 (scaled by RSTScale), issued closed-loop by `sessions`
+// concurrent clients, once embedded (direct DB calls — the ceiling)
+// and once served (each client a disqo.Client over TCP against an
+// in-process disqod server). Each cell is the batch wall time for all
+// sessions to finish their queries plus the per-query latency
+// distribution; the served rows must round-trip byte-identically to
+// the embedded baseline, which is the wire codec's whole contract.
+//
+// The serving overhead the table surfaces is JSON framing + loopback
+// TCP + the session layer; the spread between embedded and served p99
+// under concurrency is what the admission gate and per-session
+// serialization actually cost a remote caller.
+func ServeSweep(cfg Config, sessions []int, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(sessions) == 0 {
+		sessions = []int{1, 4, 8}
+	}
+	// Cache-cold like every timing experiment: each query must pay for
+	// its own execution, or the wire overhead hides behind result-cache
+	// hits and the comparison stops measuring serving.
+	db, _ := disqo.Open(disqo.WithoutCache())
+	defer db.Close()
+	sf := 10 * cfg.RSTScale
+	if err := db.LoadRST(sf, sf, sf); err != nil {
+		return nil, err
+	}
+
+	base, err := db.Query(Q1, disqo.WithStrategy(disqo.Unnested), disqo.WithTupleLimit(cfg.MaxTuples))
+	if err != nil {
+		return nil, fmt.Errorf("harness: serve baseline: %w", err)
+	}
+	baseline := canonicalRows(base)
+
+	srv, err := server.New(server.Config{DB: db})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	tab := newTable("serve",
+		fmt.Sprintf("Q1 unnested on RST 10x10 (scale %g): embedded vs served, by concurrent sessions", cfg.RSTScale),
+		[]disqo.Strategy{"embedded", "served"})
+
+	// queriesPerSession keeps a cell's work constant as sessions grow,
+	// so the columns compare contention, not total load.
+	const queriesPerSession = 8
+	for _, s := range sessions {
+		col := fmt.Sprintf("s=%d", s)
+		if progress != nil {
+			progress(fmt.Sprintf("serve embedded s=%d", s))
+		}
+		cell, err := serveCell(cfg, s, queriesPerSession, baseline, func() (queryFn, func(), error) {
+			run := func() (*disqo.Result, error) {
+				return db.Query(Q1, disqo.WithStrategy(disqo.Unnested), disqo.WithTupleLimit(cfg.MaxTuples))
+			}
+			return run, func() {}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.set("embedded", col, cell)
+
+		if progress != nil {
+			progress(fmt.Sprintf("serve served s=%d", s))
+		}
+		cell, err = serveCell(cfg, s, queriesPerSession, baseline, func() (queryFn, func(), error) {
+			c, err := disqo.Dial(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			run := func() (*disqo.Result, error) { return c.Query(Q1) }
+			return run, func() { c.Close() }, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.set("served", col, cell)
+	}
+	return tab, nil
+}
+
+type queryFn func() (*disqo.Result, error)
+
+// serveCell runs `sessions` closed loops of k queries each, Repeat
+// times, keeping the best batch wall time and pooling every query's
+// latency. Each session builds its own transport via mk (a no-op for
+// embedded, one Client per session for served — matching how real
+// clients hold one connection each).
+func serveCell(cfg Config, sessions, k int, baseline []string, mk func() (queryFn, func(), error)) (Cell, error) {
+	best := Cell{Seconds: math.Inf(1)}
+	var lat telemetry.Histogram
+	for rep := 0; rep < cfg.Repeat; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, sessions)
+		mismatch := make([]bool, sessions)
+		rows := make([]int, sessions)
+		start := time.Now()
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run, done, err := mk()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer done()
+				for q := 0; q < k; q++ {
+					qStart := time.Now()
+					res, err := run()
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					lat.Record(time.Since(qStart))
+					rows[i] = len(res.Rows)
+					if q == 0 && !sameRows(baseline, canonicalRows(res)) {
+						mismatch[i] = true
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for i := range errs {
+			if mismatch[i] {
+				return Cell{}, fmt.Errorf("harness: served session %d result diverged from embedded baseline", i)
+			}
+			if errs[i] != nil {
+				return classifyCell(errs[i]), nil
+			}
+		}
+		if elapsed < best.Seconds {
+			best = Cell{Seconds: elapsed, Rows: rows[0]}
+		}
+	}
+	best.Percentiles = percentilesOf(&lat)
+	return best, nil
+}

@@ -157,6 +157,42 @@ func decodeSnapshot(data []byte) (CheckpointState, uint64, error) {
 	return st, lastLSN, nil
 }
 
+// DecodeSnapshot parses and verifies a complete snapshot file image,
+// returning the checkpointed state and the last LSN the snapshot
+// covers. Exported for the replication layer: a publisher ships
+// snapshot files byte-for-byte and the replica decodes them with the
+// same codec recovery uses.
+func DecodeSnapshot(data []byte) (CheckpointState, uint64, error) {
+	return decodeSnapshot(data)
+}
+
+// NewestSnapshot scans dir for the snapshot file covering the highest
+// LSN and returns its path. ok is false when dir holds no snapshot.
+// Unreadable directories surface as errors; a missing dir is treated
+// as empty.
+func NewestSnapshot(dir string) (path string, lsn uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", 0, false, nil
+		}
+		return "", 0, false, fmt.Errorf("wal: snapshot scan: %w", err)
+	}
+	for _, e := range entries {
+		if n, k := parseSnapName(e.Name()); k && (!ok || n > lsn) {
+			lsn, ok = n, true
+		}
+	}
+	if !ok {
+		return "", 0, false, nil
+	}
+	return filepath.Join(dir, snapName(lsn)), lsn, true, nil
+}
+
+// LogPath returns the WAL file's path under a data directory — the
+// file the replication publisher tails with Scan.
+func LogPath(dir string) string { return filepath.Join(dir, logName) }
+
 // Checkpoint serializes st to a new snapshot file covering every
 // record logged so far, then truncates the log. On any failure before
 // the rename the previous snapshot and full log remain authoritative;

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"disqo/internal/types"
+)
+
+// TestValueRoundTrip: every value kind survives marshal→unmarshal
+// byte-identically at the types.Value level, including the cases a bare
+// JSON number would corrupt (64-bit ints past 2^53, NaN, ±Inf, -0.0).
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null(),
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewString(""),
+		types.NewString("it's a \"test\"\nwith newline"),
+		types.NewInt(0),
+		types.NewInt(math.MaxInt64),
+		types.NewInt(math.MinInt64),
+		types.NewInt(1<<53 + 1), // the bare-JSON-number precision cliff
+		types.NewFloat(0),
+		types.NewFloat(math.Copysign(0, -1)),
+		types.NewFloat(0.1),
+		types.NewFloat(math.MaxFloat64),
+		types.NewFloat(math.SmallestNonzeroFloat64),
+		types.NewFloat(math.Inf(1)),
+		types.NewFloat(math.Inf(-1)),
+		types.NewFloat(math.NaN()),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(Value{V: v})
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s (from %v): %v", data, v, err)
+		}
+		if !types.Identical(v, got.V) {
+			t.Fatalf("round trip changed %v -> %v (wire %s)", v, got.V, data)
+		}
+	}
+}
+
+// TestRowsRoundTrip: EncodeRows/DecodeRows are inverses through a full
+// Response marshal, and tuples stay Identical.
+func TestRowsRoundTrip(t *testing.T) {
+	rows := [][]types.Value{
+		{types.NewInt(1), types.NewString("a"), types.Null()},
+		{types.NewInt(2), types.NewString("b"), types.NewFloat(2.5)},
+	}
+	resp := Response{ID: 7, OK: true, Columns: []string{"x", "y", "z"}, Rows: EncodeRows(rows)}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	dec := DecodeRows(got.Rows)
+	if len(dec) != len(rows) {
+		t.Fatalf("row count %d != %d", len(dec), len(rows))
+	}
+	for i := range rows {
+		if !types.TuplesIdentical(rows[i], dec[i]) {
+			t.Fatalf("row %d changed: %v -> %v", i, rows[i], dec[i])
+		}
+	}
+	if got.ID != 7 || !got.OK || len(got.Columns) != 3 {
+		t.Fatalf("header fields lost: %+v", got)
+	}
+}
+
+// TestValueUnmarshalRejectsGarbage: malformed frames surface as errors,
+// not zero values.
+func TestValueUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{`12`, `{}`, `{"i":"x"}`, `{"f":"y"}`, `[1]`, ``} {
+		var v Value
+		if err := v.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -21,6 +21,13 @@ type RetryPolicy struct {
 	// so herds of shed queries don't re-arrive in lockstep. 0 disables
 	// jitter; values are clamped to [0, 1].
 	Jitter float64
+	// Seed makes the jitter sequence deterministic: when nonzero, each
+	// attempt's jitter draw comes from a splitmix64 stream seeded here
+	// instead of the process-global random source, so a policy value
+	// replays the exact same delay schedule — tests and distributed
+	// clients that want per-node-distinct but reproducible backoff both
+	// need this. 0 (the default) keeps the global source.
+	Seed uint64
 	// RetryIf classifies errors as transient; nil retries only
 	// ErrOverloaded — the engine's sole documented back-off-and-retry
 	// signal.
@@ -43,8 +50,12 @@ func DefaultRetryPolicy() RetryPolicy {
 // exhausts p.MaxAttempts, or ctx is done — whichever comes first. The
 // last error is returned on exhaustion; a context cancellation during
 // backoff returns ctx.Err() immediately (joined with the last attempt's
-// error so callers keep both signals). It replaces the hand-rolled
-// sleep loops ErrOverloaded used to suggest:
+// error so callers keep both signals). When ctx carries a deadline that
+// the next backoff would sleep past, Retry does not sleep at all: it
+// returns context.DeadlineExceeded joined with the last error right
+// away, so a caller with a 50ms budget is never parked for a 400ms
+// backoff it cannot use. It replaces the hand-rolled sleep loops
+// ErrOverloaded used to suggest:
 //
 //	res, err := disqo.Retry(ctx, disqo.DefaultRetryPolicy(),
 //		func() (*disqo.Result, error) { return db.Query(sql) })
@@ -68,6 +79,20 @@ func Retry[T any](ctx context.Context, p RetryPolicy, fn func() (T, error)) (T, 
 	if retryable == nil {
 		retryable = func(err error) bool { return errors.Is(err, ErrOverloaded) }
 	}
+	jitterDraw := rand.Float64
+	if p.Seed != 0 {
+		s := p.Seed
+		jitterDraw = func() float64 {
+			// splitmix64: the same mix faultinject uses, cheap and
+			// well-distributed; 53 high bits make a uniform [0,1).
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			return float64(z>>11) / (1 << 53)
+		}
+	}
 	delay := p.BaseDelay
 	var lastErr error
 	for attempt := 1; ; attempt++ {
@@ -88,7 +113,13 @@ func Retry[T any](ctx context.Context, p RetryPolicy, fn func() (T, error)) (T, 
 		}
 		if p.Jitter > 0 && d > 0 {
 			span := float64(d) * p.Jitter
-			d = time.Duration(float64(d) - span + 2*span*rand.Float64())
+			d = time.Duration(float64(d) - span + 2*span*jitterDraw())
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+			// The backoff would outlive the caller's budget: spending it
+			// asleep only converts a useful "still overloaded" error into
+			// a late one. Fail fast with both signals.
+			return zero, errors.Join(context.DeadlineExceeded, lastErr)
 		}
 		if d > 0 {
 			t := time.NewTimer(d)

@@ -16,7 +16,12 @@
 # (child SIGKILLed at every WAL/snapshot fault-site visit and 72 random
 # log truncations, every recovered state prefix-legal), a kill -9
 # recovery smoke through the REPL (populate durably, kill the process,
-# reopen, scripted query check), tiny runs of the concurrency, cache,
+# reopen, scripted query check), the server suite under -race (wire
+# codec round trips, session timeouts, drain, connection chaos, SIGKILL
+# under load with prefix-legal recovery, replica failover) plus a
+# disqod end-to-end smoke (remote DDL/DML/query over TCP, SIGTERM drain
+# must log a clean exit, kill -9 after an acknowledged write must
+# recover on restart), tiny runs of the concurrency, cache, serve,
 # and predicates sweeps through cmd/bench -json, a debug-listener smoke
 # that scrapes /metrics twice and checks the exposition is well-formed
 # with monotone counters, and a 10-second smoke of each native fuzz
@@ -38,7 +43,10 @@ go test -race ./internal/telemetry
 go test -race -run 'TestDurable|TestRecovery|TestGroupCommit|TestClose|TestVolatile|TestWALSealed|TestRetry' .
 go test -race -run 'TestCrashChaos' .
 go test -race ./internal/wal
+go test -race -run 'TestCheckpointRacesDML|TestCloseDuringReplicaApply|TestCloseImmediatelyAfterRecovery' .
+go test -race ./internal/wire ./internal/server
 go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeout 30s -q -json "$(mktemp -d)"
+go run ./cmd/bench -exp serve -scale 0.02 -sessions 1,2 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp cache -scale 0.02 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp predicates -scale 0.02 -workers 1 -timeout 30s -q -json "$(mktemp -d)"
 # Debug-listener smoke: hold a REPL open over a FIFO, scrape /metrics
@@ -92,6 +100,51 @@ go run ./cmd/disqo -data "$crashdir/data" -e 'SELECT DISTINCT * FROM k' >"$crash
 grep -q 'recovered 3 WAL records' "$crashdir/recovered.err"
 grep -q '(2 rows)' "$crashdir/recovered.out"
 rm -rf "$crashdir"
+
+# Server smoke: run disqod durably, drive it with the remote client,
+# SIGTERM it (the drain must log a clean exit), then kill -9 a fresh
+# instance after an acknowledged write and check the restart serves it.
+srvdir=$(mktemp -d)
+srvaddr=127.0.0.1:63991
+go build -o "$srvdir/disqod" ./cmd/disqod
+go build -o "$srvdir/disqo" ./cmd/disqo
+"$srvdir/disqod" -listen "$srvaddr" -data "$srvdir/data" >"$srvdir/serve1.log" 2>&1 &
+srvpid=$!
+i=0
+until "$srvdir/disqo" -connect "$srvaddr" -e 'CREATE TABLE sk (a INTEGER)' 2>/dev/null | grep -q 'ok ('; do
+    i=$((i + 1))
+    test "$i" -le 120 || { cat "$srvdir/serve1.log"; exit 1; }
+    sleep 0.5
+done
+"$srvdir/disqo" -connect "$srvaddr" -e 'INSERT INTO sk VALUES (1), (2), (3)' | grep -q 'ok (3 rows affected)'
+"$srvdir/disqo" -connect "$srvaddr" -e 'DELETE FROM sk WHERE a = 2' | grep -q 'ok (1 rows affected)'
+"$srvdir/disqo" -connect "$srvaddr" -e 'SELECT DISTINCT * FROM sk' | grep -q '(2 rows)'
+kill -TERM "$srvpid"
+wait "$srvpid"
+grep -q 'drained cleanly' "$srvdir/serve1.log"
+grep -q 'bye' "$srvdir/serve1.log"
+"$srvdir/disqod" -listen "$srvaddr" -data "$srvdir/data" >"$srvdir/serve2.log" 2>&1 &
+srvpid=$!
+i=0
+until "$srvdir/disqo" -connect "$srvaddr" -e 'SELECT DISTINCT * FROM sk' 2>/dev/null | grep -q '(2 rows)'; do
+    i=$((i + 1))
+    test "$i" -le 120 || { cat "$srvdir/serve2.log"; exit 1; }
+    sleep 0.5
+done
+"$srvdir/disqo" -connect "$srvaddr" -e 'INSERT INTO sk VALUES (4)' | grep -q 'ok (1 rows affected)'
+kill -9 "$srvpid"
+wait "$srvpid" 2>/dev/null || true
+"$srvdir/disqod" -listen "$srvaddr" -data "$srvdir/data" >"$srvdir/serve3.log" 2>&1 &
+srvpid=$!
+i=0
+until "$srvdir/disqo" -connect "$srvaddr" -e 'SELECT DISTINCT * FROM sk' 2>/dev/null | grep -q '(3 rows)'; do
+    i=$((i + 1))
+    test "$i" -le 120 || { cat "$srvdir/serve3.log"; exit 1; }
+    sleep 0.5
+done
+kill -TERM "$srvpid"
+wait "$srvpid"
+rm -rf "$srvdir"
 
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/sqlparser
 go test -fuzz=FuzzQuery -fuzztime=10s -run '^$' .

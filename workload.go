@@ -147,6 +147,11 @@ type WorkloadStats struct {
 	Enabled bool `json:"enabled"`
 	// Uptime is the time since Open.
 	Uptime time.Duration `json:"uptime_ns"`
+	// Inflight is the number of public API calls currently inside the
+	// engine (queries, writes, checkpoints) — the drain counter Close
+	// waits on, wider than Admission.Active which counts only queries
+	// holding execution slots.
+	Inflight int `json:"inflight"`
 
 	// Queries counts every observed query; Errors and Sheds classify the
 	// failures (Sheds are ErrOverloaded rejections — back-pressure, not
@@ -188,9 +193,10 @@ type WorkloadStats struct {
 // while it is taken).
 func (db *DB) WorkloadStats() WorkloadStats {
 	ws := WorkloadStats{
-		Enabled: db.tele != nil,
-		Uptime:  time.Since(db.start),
-		Cache:   db.CacheStats(),
+		Enabled:  db.tele != nil,
+		Uptime:   time.Since(db.start),
+		Inflight: db.InflightQueries(),
+		Cache:    db.CacheStats(),
 	}
 	if db.tele != nil {
 		snap := db.tele.Snapshot()
@@ -227,6 +233,15 @@ func (db *DB) WorkloadStats() WorkloadStats {
 		ws.RecoveryReplayedRecords = db.replayed.Load()
 	}
 	return ws
+}
+
+// InflightQueries reports how many public API calls are currently
+// inside the engine — the same counter Close's drain waits on. Servers
+// export it as a gauge to watch a drain progress.
+func (db *DB) InflightQueries() int {
+	db.lifeMu.Lock()
+	defer db.lifeMu.Unlock()
+	return db.inflight
 }
 
 // ResetStats zeroes every cumulative workload counter — the statement

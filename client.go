@@ -45,6 +45,7 @@ type Client struct {
 	// Session state replayed after a reconnect.
 	strategy  string
 	path      string
+	nulls     string
 	timeoutMS int64
 	prepared  map[string]string
 }
@@ -236,6 +237,13 @@ func (c *Client) SetExecutionPath(path string) error {
 	return c.set(&wire.Request{Op: wire.OpSet, Path: path}, func() { c.path = path })
 }
 
+// SetNullMode makes m the session's default null semantics: "3vl"
+// (SQL three-valued, the server default) or "2vl" (comparisons with
+// NULL are false).
+func (c *Client) SetNullMode(m NullMode) error {
+	return c.set(&wire.Request{Op: wire.OpSet, Nulls: m.String()}, func() { c.nulls = m.String() })
+}
+
 // SetTimeout makes d the session's default per-request timeout; 0
 // clears it.
 func (c *Client) SetTimeout(d time.Duration) error {
@@ -387,8 +395,8 @@ func (c *Client) connectLocked(ctx context.Context) error {
 	}
 	c.conn = conn
 	c.br = bufio.NewReaderSize(conn, 64<<10)
-	replay := &wire.Request{Op: wire.OpSet, Strategy: c.strategy, Path: c.path, TimeoutMS: c.timeoutMS}
-	if c.strategy != "" || c.path != "" || c.timeoutMS > 0 {
+	replay := &wire.Request{Op: wire.OpSet, Strategy: c.strategy, Path: c.path, Nulls: c.nulls, TimeoutMS: c.timeoutMS}
+	if c.strategy != "" || c.path != "" || c.nulls != "" || c.timeoutMS > 0 {
 		if _, err := c.exchangeLocked(ctx, replay); err != nil {
 			c.dropLocked()
 			return err

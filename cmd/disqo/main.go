@@ -6,6 +6,7 @@
 //	disqo -tpch 0.01               # REPL over TPC-H SF 0.01
 //	disqo -rst 0.1 -e "SELECT ..." # one-shot query
 //	disqo -strategy canonical ...  # pick an evaluation strategy
+//	disqo -seed 319                # reproduce adversarial scenario 319
 //	disqo -connect localhost:4333  # remote shell against a disqod server
 //
 // Inside the REPL:
@@ -20,6 +21,7 @@
 //	\top [n]                      top statements by total wall time
 //	\slow                         dump the slow-query ring
 //	\strategy s2                  switch strategy
+//	\set nulls 2vl                switch null semantics (2vl or 3vl)
 //	\tables                       list tables
 //	\q                            quit
 //
@@ -41,6 +43,7 @@ import (
 
 	"disqo"
 	"disqo/internal/exec"
+	"disqo/internal/scenario"
 )
 
 func main() {
@@ -50,6 +53,8 @@ func main() {
 		full      = flag.Bool("tpch-all", false, "generate all 8 TPC-H tables (default: the 5 Query 2d uses)")
 		strategy  = flag.String("strategy", string(disqo.Unnested), "evaluation strategy: s1,s2,s3,canonical,unnested")
 		path      = flag.String("path", "", "execution path: row or vector (default: vector with per-node row fallback)")
+		nulls     = flag.String("nulls", "3vl", "null semantics: 3vl (SQL three-valued) or 2vl (NULL comparisons are false)")
+		seedFlag  = flag.String("seed", "", "reproduce adversarial scenario N: load its generated tables and run its query (combine with -strategy/-path/-nulls to compare matrix cells; -e overrides the query)")
 		execSQL   = flag.String("e", "", "execute one statement and exit")
 		explain   = flag.Bool("explain", false, "with -e: explain instead of executing")
 		timeout   = flag.Duration("timeout", 0, "query timeout (0 = none)")
@@ -123,11 +128,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded TPC-H at SF %g: %s\n", *tpchSF, strings.Join(db.Tables(), ", "))
 	}
-	if *rstSF == 0 && *tpchSF == 0 {
-		fmt.Fprintln(os.Stderr, "no data loaded; use -rst or -tpch (see -h)")
+	scenarioSQL := ""
+	if *seedFlag != "" {
+		n, err := strconv.ParseUint(*seedFlag, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -seed %q (want an unsigned integer)", *seedFlag))
+		}
+		sc := scenario.Generate(n)
+		if err := scenario.Load(db, sc); err != nil {
+			fatal(err)
+		}
+		scenarioSQL = sc.Query.SQL()
+		fmt.Fprintf(os.Stderr, "loaded scenario seed %d (%s shape, %d tables)\nquery: %s\n",
+			n, sc.Query.Shape, len(sc.Tables), scenarioSQL)
+	}
+	if *rstSF == 0 && *tpchSF == 0 && *seedFlag == "" {
+		fmt.Fprintln(os.Stderr, "no data loaded; use -rst, -tpch or -seed (see -h)")
 	}
 
 	sess := &session{db: db, strategy: disqo.Strategy(*strategy), timeout: *timeout}
+	if m, ok := parseNulls(*nulls); ok {
+		sess.nulls = m
+	} else {
+		fatal(fmt.Errorf("bad -nulls %q (want 2vl or 3vl)", *nulls))
+	}
 	if *path != "" {
 		p, ok := exec.ParsePath(*path)
 		if !ok {
@@ -142,6 +166,11 @@ func main() {
 		}
 		defer f.Close()
 		sess.tracer = newJSONLTracer(f)
+	}
+	// -seed without -e is a one-shot reproduction: run the scenario's
+	// generated query under the chosen strategy/path/nulls and exit.
+	if *execSQL == "" && scenarioSQL != "" {
+		*execSQL = scenarioSQL
 	}
 	if *execSQL != "" {
 		if *explain {
@@ -163,12 +192,26 @@ type session struct {
 	// the engine default (vector with per-node row fallback).
 	path    disqo.ExecutionPath
 	pathSet bool
+	// nulls selects the null semantics every query runs under
+	// (\set nulls 2vl|3vl).
+	nulls disqo.NullMode
 	// last is the most recent successful query result, for \stats.
 	last *disqo.Result
 }
 
+// parseNulls maps a user-facing mode name to a NullMode.
+func parseNulls(name string) (disqo.NullMode, bool) {
+	switch strings.ToLower(name) {
+	case "3vl", "three", "sql":
+		return disqo.ThreeValuedNulls, true
+	case "2vl", "two":
+		return disqo.TwoValuedNulls, true
+	}
+	return disqo.ThreeValuedNulls, false
+}
+
 func (s *session) options() []disqo.Option {
-	opts := []disqo.Option{disqo.WithStrategy(s.strategy)}
+	opts := []disqo.Option{disqo.WithStrategy(s.strategy), disqo.WithNullMode(s.nulls)}
 	if s.timeout > 0 {
 		opts = append(opts, disqo.WithTimeout(s.timeout))
 	}
@@ -409,6 +452,18 @@ func (s *session) command(line string) bool {
 		}
 		s.strategy = disqo.Strategy(fields[1])
 		fmt.Printf("strategy set to %s\n", s.strategy)
+	case "\\set":
+		if len(fields) != 3 || fields[1] != "nulls" {
+			fmt.Printf("usage: \\set nulls 2vl|3vl (current: %s)\n", s.nulls)
+			break
+		}
+		m, ok := parseNulls(fields[2])
+		if !ok {
+			fmt.Printf("bad mode %q (want 2vl or 3vl)\n", fields[2])
+			break
+		}
+		s.nulls = m
+		fmt.Printf("nulls set to %s\n", s.nulls)
 	case "\\explain":
 		rest := strings.TrimPrefix(line, "\\explain ")
 		// `\explain analyze <sql>` is EXPLAIN ANALYZE: execute and
@@ -446,7 +501,7 @@ func (s *session) command(line string) bool {
 	case "\\wal":
 		s.wal()
 	case "\\help":
-		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\top [n]                 top statements by total wall time (default 10)\n\\slow                    dump the slow-query ring (arm with -slow-after)\n\\checkpoint              snapshot the catalog and truncate the WAL (-data)\n\\wal                     show write-ahead log counters (-data)\n\\strategy <s>            switch strategy\n\\tables                  list tables\n\\q                       quit")
+		fmt.Println("\\explain <sql>           show plans and rewrites\n\\explain analyze <sql>   execute and annotate the physical plan\n\\analyze <sql>           same as \\explain analyze\n\\stats                   show the last query's execution counters\n\\cache                   show plan/result cache counters\n\\top [n]                 top statements by total wall time (default 10)\n\\slow                    dump the slow-query ring (arm with -slow-after)\n\\checkpoint              snapshot the catalog and truncate the WAL (-data)\n\\wal                     show write-ahead log counters (-data)\n\\strategy <s>            switch strategy\n\\set nulls 2vl|3vl       switch null semantics\n\\tables                  list tables\n\\q                       quit")
 	default:
 		fmt.Printf("unknown command %s (try \\help)\n", fields[0])
 	}

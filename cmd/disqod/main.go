@@ -46,6 +46,7 @@ func main() {
 		syncEvery    = flag.Int("sync-every", 0, "fsync the WAL after every nth record (0/1 = every record)")
 		syncInterval = flag.Duration("sync-interval", 0, "background WAL fsync interval (0 = off)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "auto-checkpoint after every n logged records (0 = manual only)")
+		nulls        = flag.String("nulls", "3vl", "default null semantics: 3vl (SQL three-valued) or 2vl (NULL comparisons are false); per-request override via the wire protocol")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -65,6 +66,13 @@ func main() {
 	var srv *server.Server
 	opts := []disqo.OpenOption{
 		disqo.WithDrainTimeout(*drainTimeout),
+	}
+	switch *nulls {
+	case "3vl":
+	case "2vl":
+		opts = append(opts, disqo.WithTwoValuedNulls())
+	default:
+		log.Fatalf("bad -nulls %q (want 2vl or 3vl)", *nulls)
 	}
 	if *maxConc != 0 {
 		opts = append(opts, disqo.WithMaxConcurrent(*maxConc))

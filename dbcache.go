@@ -17,6 +17,7 @@ import (
 	"disqo/internal/sqlparser"
 	"disqo/internal/stats"
 	"disqo/internal/telemetry"
+	"disqo/internal/types"
 )
 
 // Default cache capacities when caching is enabled without explicit
@@ -164,6 +165,7 @@ func (db *DB) planFor(snap *catalog.Snapshot, sql string, cfg queryConfig) (pi *
 	key := cache.PlanKey{
 		SQL:            normalizeSQL(sql),
 		Strategy:       string(strat),
+		Nulls:          cfg.nulls.String(),
 		CatalogVersion: snap.Version(),
 		ViewEpoch:      db.viewEpoch.Load(),
 	}
@@ -390,6 +392,7 @@ func (db *DB) resultKey(snap catalog.Reader, cfg queryConfig, pi *planInfo) (cac
 	return cache.ResultKey{
 		Fingerprint: fp,
 		Strategy:    string(strat) + "@" + cfg.path.String(),
+		Nulls:       cfg.nulls.String(),
 		Tables:      versions,
 	}, true
 }
@@ -517,7 +520,14 @@ type Stmt struct {
 	stmt *sqlparser.SelectStmt
 
 	mu    sync.Mutex
-	plans map[Strategy]*stmtPlan
+	plans map[stmtKey]*stmtPlan
+}
+
+// stmtKey identifies one derived plan per statement: the strategy and
+// the null mode (mode-aware rewrites can produce different trees).
+type stmtKey struct {
+	strat Strategy
+	nulls types.NullMode
 }
 
 // stmtPlan is one strategy's cached plan with the schema state it was
@@ -539,7 +549,7 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	}
 	return &Stmt{
 		db: db, sql: sql, norm: normalizeSQL(sql), stmt: stmt,
-		plans: make(map[Strategy]*stmtPlan),
+		plans: make(map[stmtKey]*stmtPlan),
 	}, nil
 }
 
@@ -551,7 +561,7 @@ func (s *Stmt) SQL() string { return s.sql }
 // with database/sql idiom.
 func (s *Stmt) Close() error {
 	s.mu.Lock()
-	s.plans = make(map[Strategy]*stmtPlan)
+	s.plans = make(map[stmtKey]*stmtPlan)
 	s.mu.Unlock()
 	return nil
 }
@@ -565,7 +575,7 @@ func (s *Stmt) Query(opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	defer s.db.end()
-	cfg := newQueryConfig()
+	cfg := s.db.newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -583,7 +593,7 @@ func (s *Stmt) Query(opts ...Option) (*Result, error) {
 	// because the strategy's derived plan is still valid.
 	planHit := true
 	s.mu.Lock()
-	sp := s.plans[strat]
+	sp := s.plans[stmtKey{strat, cfg.nulls}]
 	if sp == nil || sp.catVersion != snap.Version() || sp.viewEpoch != epoch {
 		plan, trace, err := s.db.planAST(snap, s.stmt, cfg)
 		if err != nil {
@@ -598,7 +608,7 @@ func (s *Stmt) Query(opts ...Option) (*Result, error) {
 				tables: collectTables(plan), norm: s.norm,
 			},
 		}
-		s.plans[strat] = sp
+		s.plans[stmtKey{strat, cfg.nulls}] = sp
 		planHit = false
 	}
 	pi := sp.pi

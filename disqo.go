@@ -80,6 +80,21 @@ var (
 	Null = types.Null
 )
 
+// NullMode selects the logic predicates evaluate under. The default
+// ThreeValuedNulls is SQL's Kleene logic (NULL comparisons yield
+// UNKNOWN); TwoValuedNulls follows "Handling SQL Nulls with Two-Valued
+// Logic" (arXiv 2012.13198): every predicate over a NULL is simply
+// FALSE and the connectives are classical Boolean. Select the mode
+// DB-wide with WithTwoValuedNulls or per query with WithNullMode.
+type NullMode = types.NullMode
+
+const (
+	// ThreeValuedNulls is SQL's standard three-valued logic (default).
+	ThreeValuedNulls = types.ThreeValued
+	// TwoValuedNulls collapses UNKNOWN to FALSE at predicate leaves.
+	TwoValuedNulls = types.TwoValued
+)
+
 // Strategy selects how queries are optimized and evaluated.
 type Strategy string
 
@@ -134,6 +149,10 @@ type DB struct {
 	// little transaction: read a consistent pre-image, compute the new
 	// version, swap it in. Readers never take it.
 	writeMu sync.Mutex
+
+	// nulls is the DB-wide default null mode (WithTwoValuedNulls);
+	// per-query WithNullMode overrides it. Immutable after Open.
+	nulls types.NullMode
 
 	// gate is the admission controller; nil means unlimited admission.
 	gate *gate
@@ -264,6 +283,10 @@ type OpenOptions struct {
 	// CheckpointEvery auto-checkpoints after every n logged records;
 	// 0 checkpoints only on explicit DB.Checkpoint calls.
 	CheckpointEvery int
+	// TwoValuedNulls makes two-valued logic the DB-wide default null
+	// mode: predicates over NULL evaluate FALSE instead of UNKNOWN.
+	// Individual queries may still override with WithNullMode.
+	TwoValuedNulls bool
 	// DrainTimeout bounds Close's wait for in-flight work; 0 waits
 	// indefinitely.
 	DrainTimeout time.Duration
@@ -354,6 +377,18 @@ func WithDebugAddr(addr string) OpenOption {
 	return func(o *OpenOptions) { o.DebugAddr = addr }
 }
 
+// WithTwoValuedNulls opens the database in two-valued null mode: every
+// predicate over a NULL — comparisons, LIKE, quantified memberships —
+// evaluates FALSE rather than UNKNOWN, and NOT is classical complement
+// (per "Handling SQL Nulls with Two-Valued Logic", arXiv 2012.13198).
+// Aggregates, grouping, and arithmetic keep their standard NULL
+// behavior; only predicate truth values change. The mode is a planning
+// input as well as an execution one (a few rewrites are logic-specific),
+// so both cache tiers key on it. Per-query WithNullMode overrides it.
+func WithTwoValuedNulls() OpenOption {
+	return func(o *OpenOptions) { o.TwoValuedNulls = true }
+}
+
 // WithDebugMetrics appends f's output to every /metrics scrape, after
 // the engine's own families. f must return complete Prometheus
 // text-format families and be safe for concurrent calls; disqod uses
@@ -392,6 +427,9 @@ func Open(opts ...OpenOption) (*DB, error) {
 		gate:         newGate(o.MaxConcurrent, o.MaxQueued, o.AdmissionWait),
 		start:        time.Now(),
 		drainTimeout: o.DrainTimeout,
+	}
+	if o.TwoValuedNulls {
+		db.nulls = types.TwoValued
 	}
 	if !o.DisableTelemetry {
 		db.tele = telemetry.New(telemetry.Config{SlowThreshold: o.SlowQueryThreshold})
@@ -656,6 +694,7 @@ type queryConfig struct {
 	tracer     Tracer
 	ctx        context.Context
 	fault      *faultinject.Injector
+	nulls      types.NullMode
 	// began anchors the telemetry-observed wall time at API entry, so
 	// recorded latencies include planning and cache lookups — what the
 	// caller actually waited.
@@ -663,9 +702,9 @@ type queryConfig struct {
 }
 
 // newQueryConfig is the per-call default: unnested strategy on the
-// vectorized path.
-func newQueryConfig() queryConfig {
-	return queryConfig{strategy: Unnested, path: PathVector}
+// vectorized path, under the DB's default null mode.
+func (db *DB) newQueryConfig() queryConfig {
+	return queryConfig{strategy: Unnested, path: PathVector, nulls: db.nulls}
 }
 
 // Option configures a single Query or Explain call.
@@ -708,6 +747,15 @@ func WithMorselSize(n int) Option {
 // WithStrategy selects the optimization strategy (default Unnested).
 func WithStrategy(s Strategy) Option {
 	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithNullMode overrides the null mode for one call (default: the DB's
+// mode — ThreeValuedNulls unless Open was given WithTwoValuedNulls).
+// The mode shapes both planning (a few rewrites are logic-specific) and
+// evaluation, and both cache tiers key on it, so mixed-mode workloads
+// never share plans or results across logics.
+func WithNullMode(m NullMode) Option {
+	return func(c *queryConfig) { c.nulls = m }
 }
 
 // WithTimeout aborts evaluation after d (default: no limit). Timed-out
@@ -848,14 +896,14 @@ func (db *DB) planAST(src catalog.Reader, stmt *sqlparser.SelectStmt, cfg queryC
 	}
 	switch cfg.strategy {
 	case Unnested, "":
-		rw := rewrite.New(src, rewrite.AllCaps())
+		rw := rewrite.New(src, rewrite.AllCaps()).WithNulls(cfg.nulls)
 		plan, err := rw.Rewrite(canonical)
 		if err != nil {
 			return nil, nil, err
 		}
 		return plan, rw.Trace, nil
 	case S2:
-		rw := rewrite.New(src, rewrite.Caps{Conjunctive: true, ORExpansion: true, Quantified: true})
+		rw := rewrite.New(src, rewrite.Caps{Conjunctive: true, ORExpansion: true, Quantified: true}).WithNulls(cfg.nulls)
 		plan, err := rw.Rewrite(canonical)
 		if err != nil {
 			return nil, nil, err
@@ -875,7 +923,7 @@ func (db *DB) planAST(src catalog.Reader, stmt *sqlparser.SelectStmt, cfg queryC
 	case Canonical, S1:
 		return canonical, nil, nil
 	case CostBased:
-		return planCostBased(src, canonical)
+		return planCostBased(src, canonical, cfg.nulls)
 	default:
 		return nil, nil, fmt.Errorf("disqo: unknown strategy %q", cfg.strategy)
 	}
@@ -884,10 +932,10 @@ func (db *DB) planAST(src catalog.Reader, stmt *sqlparser.SelectStmt, cfg queryC
 // planCostBased compares the estimated cost of the canonical plan, the
 // rank-reordered plan, and the fully unnested plan, and returns the
 // cheapest.
-func planCostBased(src catalog.Reader, canonical algebra.Op) (algebra.Op, []string, error) {
+func planCostBased(src catalog.Reader, canonical algebra.Op, nulls types.NullMode) (algebra.Op, []string, error) {
 	est := stats.New(src)
 
-	rw := rewrite.New(src, rewrite.AllCaps())
+	rw := rewrite.New(src, rewrite.AllCaps()).WithNulls(nulls)
 	unnested, err := rw.Rewrite(canonical)
 	if err != nil {
 		return nil, nil, err
@@ -937,6 +985,7 @@ func (db *DB) execOptions(cfg queryConfig) exec.Options {
 		Ctx:        cfg.ctx,
 		Fault:      cfg.fault,
 		Budget:     db.budget,
+		Nulls:      cfg.nulls,
 	}
 	switch cfg.strategy {
 	case S1:
@@ -1094,12 +1143,12 @@ func (db *DB) matchingRows(src catalog.Reader, table string, where sqlparser.Exp
 	if err != nil {
 		return nil, err
 	}
-	rw := rewrite.New(src, rewrite.AllCaps())
+	rw := rewrite.New(src, rewrite.AllCaps()).WithNulls(db.nulls)
 	plan, err = rw.Rewrite(plan)
 	if err != nil {
 		return nil, err
 	}
-	ex := exec.New(src, exec.Options{Cache: exec.CacheAll, Budget: db.budget})
+	ex := exec.New(src, exec.Options{Cache: exec.CacheAll, Budget: db.budget, Nulls: db.nulls})
 	defer ex.Close()
 	rel, err := ex.Run(plan)
 	if err != nil {
@@ -1205,7 +1254,7 @@ func (db *DB) execUpdate(x *sqlparser.UpdateStmt) (int, error) {
 			return 0, err
 		}
 	}
-	ex := exec.New(snap, exec.Options{Cache: exec.CacheAll, Budget: db.budget})
+	ex := exec.New(snap, exec.Options{Cache: exec.CacheAll, Budget: db.budget, Nulls: db.nulls})
 	defer ex.Close()
 	updated := 0
 	newRows := make([][]Value, len(tbl.Rel.Tuples))
@@ -1256,7 +1305,7 @@ func (db *DB) Query(sql string, opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	defer db.end()
-	cfg := newQueryConfig()
+	cfg := db.newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -1306,7 +1355,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 		return "", err
 	}
 	defer db.end()
-	cfg := newQueryConfig()
+	cfg := db.newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -1341,8 +1390,8 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 	}
 	db.observe(norm, cfg, false, int64(rel.Cardinality()), nil, telemetry.SourceExecution)
 	var b strings.Builder
-	fmt.Fprintf(&b, "strategy: %s   rows: %d   elapsed: %s\n",
-		cfg.strategy, rel.Cardinality(), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(&b, "strategy: %s   nulls: %s   rows: %d   elapsed: %s\n",
+		cfg.strategy, cfg.nulls, rel.Cardinality(), elapsed.Round(time.Microsecond))
 	st := ex.Stats()
 	fmt.Fprintf(&b, "comparisons: %d   tuples: %d   subquery evals: %d   peak resident: %d\n\n",
 		st.Comparisons, st.TuplesOut, st.SubqueryEvals, st.PeakTuples)
@@ -1388,7 +1437,7 @@ func (db *DB) Analyze(sql string, opts ...Option) (string, error) {
 // physical plan the executor would run (algorithm choices and estimated
 // cardinalities), and the list of applied rewrites.
 func (db *DB) Explain(sql string, opts ...Option) (string, error) {
-	cfg := newQueryConfig()
+	cfg := db.newQueryConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -1407,6 +1456,7 @@ func (db *DB) Explain(sql string, opts ...Option) (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategy: %s\n", cfg.strategy)
+	fmt.Fprintf(&b, "nulls: %s\n", cfg.nulls)
 	fmt.Fprintf(&b, "nesting structure: %s\n\n", translate.ClassifyStructure(stmt))
 	b.WriteString("== canonical plan ==\n")
 	b.WriteString(algebra.Explain(canonical))

@@ -11,6 +11,7 @@ import "sync"
 type PlanKey struct {
 	SQL            string
 	Strategy       string
+	Nulls          string
 	CatalogVersion uint64
 	ViewEpoch      uint64
 }

@@ -17,6 +17,7 @@ import (
 type ResultKey struct {
 	Fingerprint uint64
 	Strategy    string
+	Nulls       string
 	Tables      string
 }
 

@@ -56,7 +56,11 @@ func (ex *Executor) EvalExpr(e algebra.Expr, env *Env) (types.Value, error) {
 	}
 }
 
-// EvalPred evaluates an expression as a three-valued predicate.
+// EvalPred evaluates an expression as a predicate under the executor's
+// null mode. Under the default three-valued logic every case below is
+// Kleene; under types.TwoValued the leaf cases (comparisons, LIKE,
+// value coercion) lift Unknown to False, after which the connective
+// cases are classical Boolean without any change of their own.
 func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
 	switch x := e.(type) {
 	case *algebra.CmpExpr:
@@ -69,7 +73,7 @@ func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
 			return types.Unknown, err
 		}
 		ex.stats.Comparisons++
-		return types.CompareValues(x.Op, l, r), nil
+		return ex.opt.Nulls.Lift(types.CompareValues(x.Op, l, r)), nil
 	case *algebra.AndExpr:
 		l, err := ex.EvalPred(x.L, env)
 		if err != nil {
@@ -111,7 +115,7 @@ func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
 		if err != nil {
 			return types.Unknown, err
 		}
-		return types.Like(l, p), nil
+		return ex.opt.Nulls.Lift(types.Like(l, p)), nil
 	case *algebra.IsNullExpr:
 		v, err := ex.EvalExpr(x.E, env)
 		if err != nil {
@@ -127,7 +131,7 @@ func (ex *Executor) EvalPred(e algebra.Expr, env *Env) (types.TriBool, error) {
 		if err != nil {
 			return types.Unknown, err
 		}
-		return types.TriFromValue(v), nil
+		return ex.opt.Nulls.Lift(types.TriFromValue(v)), nil
 	}
 }
 
@@ -171,7 +175,9 @@ func (ex *Executor) evalScalarSubquery(sq *algebra.ScalarSubquery, env *Env) (ty
 // evalQuantSubquery implements EXISTS / NOT EXISTS / IN / NOT IN with SQL
 // three-valued semantics: x IN S is TRUE when a member equals x, UNKNOWN
 // when no member equals x but some comparison is UNKNOWN (NULLs), FALSE
-// otherwise; NOT IN is its Kleene negation.
+// otherwise; NOT IN is its Kleene negation. Under types.TwoValued each
+// membership comparison is lifted, so IN never yields Unknown and NOT IN
+// is plain complement.
 func (ex *Executor) evalQuantSubquery(q *algebra.QuantSubquery, env *Env) (types.TriBool, error) {
 	ex.stats.SubqueryEvals++
 	rel, err := ex.evalSubplan(q.Plan, env)
@@ -194,7 +200,7 @@ func (ex *Executor) evalQuantSubquery(q *algebra.QuantSubquery, env *Env) (types
 	res := types.False
 	for _, t := range rel.Tuples {
 		ex.stats.Comparisons++
-		res = res.Or(types.CompareValues(types.EQ, l, t[0]))
+		res = res.Or(ex.opt.Nulls.Lift(types.CompareValues(types.EQ, l, t[0])))
 		if res == types.True {
 			break
 		}
@@ -227,7 +233,7 @@ func (ex *Executor) evalAllAny(q *algebra.AllAnyExpr, env *Env) (types.TriBool, 
 	}
 	for _, t := range rel.Tuples {
 		ex.stats.Comparisons++
-		c := types.CompareValues(q.Op, l, t[0])
+		c := ex.opt.Nulls.Lift(types.CompareValues(q.Op, l, t[0]))
 		if q.All {
 			res = res.And(c)
 			if res == types.False {

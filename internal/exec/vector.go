@@ -118,7 +118,7 @@ func (ex *Executor) evalFilterVec(f *physical.Filter, env *Env) (*storage.Relati
 	}
 	chunks, err := parMorsels(ex, len(in.Tuples), false,
 		func(w *Executor, lo, hi int) ([]int32, error) {
-			res, cmps, err := f.VecPred.Eval(b, lo, hi)
+			res, cmps, err := f.VecPred.EvalMode(b, lo, hi, w.opt.Nulls)
 			w.stats.Comparisons += cmps
 			if err != nil {
 				return nil, err
@@ -155,7 +155,7 @@ func (ex *Executor) evalBypassFilterVec(s *physical.BypassFilter, env *Env) (pos
 	}
 	chunks, err := parMorsels(ex, len(in.Tuples), false,
 		func(w *Executor, lo, hi int) (split, error) {
-			res, cmps, err := s.VecPred.Eval(b, lo, hi)
+			res, cmps, err := s.VecPred.EvalMode(b, lo, hi, w.opt.Nulls)
 			w.stats.Comparisons += cmps
 			if err != nil {
 				return split{}, err
@@ -230,7 +230,7 @@ func (ex *Executor) evalMapVec(m *physical.Map, env *Env) (*storage.Relation, er
 	}
 	chunks, err := parMorsels(ex, len(in.Tuples), false,
 		func(w *Executor, lo, hi int) ([][]types.Value, error) {
-			vals, cmps, err := m.VecExpr.Eval(b, lo, hi)
+			vals, cmps, err := m.VecExpr.EvalMode(b, lo, hi, w.opt.Nulls)
 			w.stats.Comparisons += cmps
 			if err != nil {
 				return nil, err

@@ -594,7 +594,7 @@ func sameRows(a, b []string) bool {
 }
 
 // Experiment names in presentation order.
-var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency", "cache", "predicates", "serve"}
+var Order = []string{"fig7a", "fig7b", "fig7c", "tree", "linear", "quant", "ablation", "workers", "concurrency", "cache", "predicates", "scenario", "serve"}
 
 // Run dispatches an experiment by id.
 func Run(id string, cfg Config, progress func(string)) (*Table, error) {
@@ -621,6 +621,8 @@ func Run(id string, cfg Config, progress func(string)) (*Table, error) {
 		return CacheSweep(cfg, progress)
 	case "predicates":
 		return PredicateSweep(cfg, progress)
+	case "scenario":
+		return ScenarioSweep(cfg, progress)
 	case "serve":
 		return ServeSweep(cfg, nil, progress)
 	default:

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"disqo"
+	"disqo/internal/scenario"
+)
+
+// ScenarioSweep runs the adversarial scenario engine as a benchmark: a
+// seed range of generated nested-disjunctive queries, each executed
+// across the full differential matrix (canonical vs. unnested × row
+// vs. vector × cache tiers × worker counts × both null modes). The
+// table reports, per grammar shape, the matrix throughput — "matrix"
+// is total queries and wall seconds, "qps" the resulting queries per
+// second — and a "divergences" row whose count is pinned at zero: any
+// divergence fails the experiment outright, because a strategy
+// disagreement is an engine bug, not a slow cell.
+//
+// The seed count scales with Config.RSTScale (the default 0.1 scans 30
+// seeds — a smoke run; verify.sh's 500-seed sweep lives in the
+// scenario package tests).
+func ScenarioSweep(cfg Config, progress func(string)) (*Table, error) {
+	cfg = cfg.withDefaults()
+	seeds := int(300 * cfg.RSTScale)
+	if seeds < 12 {
+		seeds = 12
+	}
+	r := &scenario.Runner{Timeout: cfg.Timeout}
+	tab := newTable("scenario",
+		fmt.Sprintf("differential scenario sweep (%d seeds; matrix = queries & wall s, qps = queries/s, divergences pinned 0)", seeds),
+		[]disqo.Strategy{"matrix", "qps", "divergences"})
+
+	type acc struct {
+		runs int
+		secs float64
+	}
+	byShape := map[scenario.Shape]*acc{}
+	total := &acc{}
+	aborted := false
+	for seed := 0; seed < seeds; seed++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			aborted = true
+			break
+		}
+		sc := scenario.Generate(uint64(seed))
+		if progress != nil {
+			progress(fmt.Sprintf("scenario seed %d (%s)", seed, sc.Query.Shape))
+		}
+		start := time.Now()
+		out, err := r.Check(sc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: scenario seed %d: %w", seed, err)
+		}
+		if out.Divergence != nil {
+			return nil, fmt.Errorf("harness: scenario sweep found a divergence: %s", out.Divergence.Error())
+		}
+		elapsed := time.Since(start).Seconds()
+		a := byShape[sc.Query.Shape]
+		if a == nil {
+			a = &acc{}
+			byShape[sc.Query.Shape] = a
+		}
+		a.runs += out.Runs
+		a.secs += elapsed
+		total.runs += out.Runs
+		total.secs += elapsed
+	}
+
+	params := make([]string, 0, len(scenario.Shapes())+1)
+	for _, sh := range scenario.Shapes() {
+		if byShape[sh] != nil {
+			params = append(params, string(sh))
+		}
+	}
+	params = append(params, "all")
+	byShape["all"] = total
+	for _, p := range params {
+		a := byShape[scenario.Shape(p)]
+		tab.set("matrix", p, Cell{Seconds: a.secs, Rows: a.runs, Aborted: aborted})
+		qps := Cell{Aborted: aborted}
+		if a.secs > 0 {
+			qps.Seconds = float64(a.runs) / a.secs
+			qps.Rows = a.runs
+		}
+		tab.set("qps", p, qps)
+		tab.set("divergences", p, Cell{Aborted: aborted})
+	}
+	return tab, nil
+}

@@ -12,7 +12,7 @@ import (
 // unnestSelect attempts to remove nested subqueries from one selection.
 // It returns the (possibly) new plan and whether anything changed.
 func (rw *Rewriter) unnestSelect(sel *algebra.Select) (algebra.Op, bool, error) {
-	pred := normalizeNNF(sel.Pred)
+	pred := normalizeNNFMode(sel.Pred, rw.nulls)
 	if !algebra.HasSubquery(pred) {
 		return sel, false, nil
 	}

@@ -1,0 +1,43 @@
+package main
+
+// fuzz.go adds -fuzz-out: write one generator-derived corpus entry per
+// grammar shape into the FuzzQuery seed corpus, so the fuzzer starts
+// from structurally interesting nested disjunctive queries instead of
+// discovering them by mutation.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"disqo/internal/scenario"
+)
+
+// writeFuzzCorpus picks, per shape, the most complex scenario in the
+// seed range and writes its SQL as a `go test fuzz v1` corpus entry.
+func writeFuzzCorpus(dir string, seedMax uint64) error {
+	best := map[scenario.Shape]*scenario.Scenario{}
+	for seed := uint64(0); seed < seedMax; seed++ {
+		sc := scenario.Generate(seed)
+		cur := best[sc.Query.Shape]
+		if cur == nil || scenario.Complexity(sc) > scenario.Complexity(cur) {
+			best[sc.Query.Shape] = sc
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, shape := range scenario.Shapes() {
+		sc := best[shape]
+		if sc == nil {
+			continue
+		}
+		entry := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", sc.Query.SQL())
+		path := filepath.Join(dir, fmt.Sprintf("seed-scenario-%s", shape))
+		if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("genseeds: wrote %s (seed %d)\n", path, sc.Seed)
+	}
+	return nil
+}

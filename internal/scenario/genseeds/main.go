@@ -1,0 +1,81 @@
+// Command genseeds regenerates the checked-in scenario goldens: it
+// scans a seed range, scores every generated scenario by structural
+// complexity, verifies the hardest ones run divergence-free across the
+// full differential matrix, and writes them to -out as seed files the
+// root golden test replays on every run.
+//
+//	go run ./internal/scenario/genseeds -n 12 -range 500 -out testdata/scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"disqo/internal/scenario"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 12, "number of goldens to keep")
+		seedMax = flag.Uint64("range", 500, "scan seeds [0, range)")
+		out     = flag.String("out", "testdata/scenario", "output directory")
+		fuzzOut = flag.String("fuzz-out", "", "also write per-shape fuzz corpus entries to this directory")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("genseeds: ")
+
+	if *fuzzOut != "" {
+		if err := writeFuzzCorpus(*fuzzOut, *seedMax); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	type scored struct {
+		seed  uint64
+		score int
+	}
+	var all []scored
+	for seed := uint64(0); seed < *seedMax; seed++ {
+		all = append(all, scored{seed, scenario.Complexity(scenario.Generate(seed))})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].seed < all[j].seed
+	})
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	r := &scenario.Runner{}
+	kept := 0
+	for _, s := range all {
+		if kept == *n {
+			break
+		}
+		sc := scenario.Generate(s.seed)
+		outc, err := r.Check(sc)
+		if err != nil {
+			log.Fatalf("seed %d: %v", s.seed, err)
+		}
+		if outc.Divergence != nil {
+			// A golden must be a passing witness; a diverging seed is an
+			// engine bug to fix, not a golden to enshrine.
+			log.Fatalf("seed %d diverges: %s", s.seed, outc.Divergence.Error())
+		}
+		f := scenario.ToSeedFile(sc,
+			fmt.Sprintf("hardest-shape golden (%s, complexity %d)", sc.Query.Shape, s.score), "", "")
+		path := filepath.Join(*out, fmt.Sprintf("golden-%03d.json", s.seed))
+		if err := f.Write(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (shape %s, complexity %d)", path, sc.Query.Shape, s.score)
+		kept++
+	}
+}

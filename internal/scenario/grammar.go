@@ -1,0 +1,380 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"disqo/internal/types"
+)
+
+// Shape classifies the nesting structure of a generated query, after
+// the paper's taxonomy: one subquery (simple), a subquery inside a
+// subquery (linear), or two subqueries under one disjunction (tree).
+type Shape string
+
+const (
+	ShapeSimple Shape = "simple"
+	ShapeLinear Shape = "linear"
+	ShapeTree   Shape = "tree"
+)
+
+// Shapes lists every grammar shape, for corpus generation.
+func Shapes() []Shape { return []Shape{ShapeSimple, ShapeLinear, ShapeTree} }
+
+// SubForm is how a subquery links into its enclosing predicate.
+type SubForm string
+
+const (
+	// FormScalar compares an aggregate subquery result: a1 = (SELECT ...).
+	FormScalar SubForm = "scalar"
+	// FormExists is [NOT] EXISTS (...).
+	FormExists SubForm = "exists"
+	// FormIn is col [NOT] IN (SELECT col ...).
+	FormIn SubForm = "in"
+	// FormAll is col θ ALL (...).
+	FormAll SubForm = "all"
+	// FormAny is col θ ANY (...).
+	FormAny SubForm = "any"
+)
+
+// Query is the generated query's structure: a disjunction of atoms
+// over table r. Keeping the structure (rather than just the rendered
+// SQL) is what lets the minimizer drop disjuncts and flatten nesting.
+type Query struct {
+	Shape     Shape
+	Disjuncts []Disjunct
+	// Raw, when non-empty, overrides rendering — seed-file replay
+	// executes the stored SQL verbatim rather than a re-rendered tree.
+	Raw string
+}
+
+// Disjunct is one OR-branch of the outer WHERE. With Sub == nil it is
+// a plain comparison of Col against a constant; otherwise the branch
+// references a subquery in the form Sub.Form describes (a linking
+// disjunction in the paper's sense — the subquery sits under OR).
+type Disjunct struct {
+	Col   string
+	Op    string
+	Const int64
+	Str   string // non-empty: compare against this string literal instead
+	Sub   *Subquery
+}
+
+// Subquery is one nested block. CorrInner θ CorrOuter is the
+// correlation to the enclosing scope; OrGuard, when present, joins it
+// by OR (a correlation disjunction — the case the paper's bypass
+// technique exists for), AndGuard by AND. Inner nests one more level
+// (linear shape), joined by OR when InnerOr.
+type Subquery struct {
+	Form  SubForm
+	Neg   bool   // NOT EXISTS / NOT IN
+	Table string // "s" or "t"
+	Agg   string // COUNT(*), SUM, MIN, MAX — FormScalar only
+	Col   string // selected or aggregated inner column
+
+	CorrInner string
+	CorrOp    string
+	CorrOuter string
+
+	OrGuard  *Guard
+	AndGuard *Guard
+
+	Inner   *Disjunct
+	InnerOr bool
+}
+
+// Guard is a local (uncorrelated) predicate inside a subquery.
+type Guard struct {
+	Col   string
+	Op    string
+	Const int64
+}
+
+func (q Query) clone() Query {
+	out := Query{Shape: q.Shape, Raw: q.Raw, Disjuncts: make([]Disjunct, len(q.Disjuncts))}
+	for i, d := range q.Disjuncts {
+		out.Disjuncts[i] = d.clone()
+	}
+	return out
+}
+
+func (d Disjunct) clone() Disjunct {
+	if d.Sub != nil {
+		d.Sub = d.Sub.clone()
+	}
+	return d
+}
+
+func (s *Subquery) clone() *Subquery {
+	c := *s
+	if s.OrGuard != nil {
+		g := *s.OrGuard
+		c.OrGuard = &g
+	}
+	if s.AndGuard != nil {
+		g := *s.AndGuard
+		c.AndGuard = &g
+	}
+	if s.Inner != nil {
+		i := s.Inner.clone()
+		c.Inner = &i
+	}
+	return &c
+}
+
+// Generate derives a complete scenario — relations and query — from
+// one seed. Same seed, same bytes: the generator draws every choice
+// from a splitmix64 stream seeded with it and nothing else.
+func Generate(seed uint64) *Scenario {
+	r := newRNG(seed)
+	sc := &Scenario{Seed: seed}
+	sc.Tables = []Table{
+		genTable(r, "r", "a"),
+		genTable(r, "s", "b"),
+		genTable(r, "t", "c"),
+	}
+	sc.Query = genQuery(r)
+	return sc
+}
+
+// genTable builds one small relation in the fuzzDB shape — X1,X2,X4
+// integers and X3 a string — with skewed small domains (so joins and
+// correlations actually match) and NULL-salted cells (so three-valued
+// logic is exercised everywhere, not just on a dedicated column).
+func genTable(r *rng, name, prefix string) Table {
+	t := Table{Name: name, Columns: []Column{
+		{Name: prefix + "1", Kind: types.KindInt},
+		{Name: prefix + "2", Kind: types.KindInt},
+		{Name: prefix + "3", Kind: types.KindString},
+		{Name: prefix + "4", Kind: types.KindInt},
+	}}
+	rows := 4 + r.intn(7) // 4..10
+	strs := []string{"a", "b", "c", "d", "ab", "abc"}
+	for i := 0; i < rows; i++ {
+		row := make([]types.Value, 4)
+		// Skew: col1 piles onto 0 so equality correlations hit often.
+		v1 := int64(r.intn(4))
+		if r.pct(40) {
+			v1 = 0
+		}
+		row[0] = types.NewInt(v1)
+		row[1] = types.NewInt(int64(r.intn(3)))
+		row[2] = types.NewString(strs[r.intn(len(strs))])
+		row[3] = types.NewInt(int64(r.intn(8)) * 500)
+		// NULL-salt after the draw so the value stream is stable under
+		// different salting rates.
+		for c := range row {
+			p := 15
+			if c == 2 {
+				p = 10
+			}
+			if r.pct(p) {
+				row[c] = types.Null()
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func genQuery(r *rng) Query {
+	q := Query{Shape: Shapes()[r.intn(3)]}
+	switch q.Shape {
+	case ShapeSimple:
+		q.Disjuncts = append(q.Disjuncts, genSubDisjunct(r, "s", "b", "a", false))
+	case ShapeLinear:
+		q.Disjuncts = append(q.Disjuncts, genSubDisjunct(r, "s", "b", "a", true))
+	case ShapeTree:
+		q.Disjuncts = append(q.Disjuncts,
+			genSubDisjunct(r, "s", "b", "a", false),
+			genSubDisjunct(r, "t", "c", "a", false))
+	}
+	// 1..2 plain disjuncts alongside, so the subqueries always sit
+	// under a disjunction (the linking-disjunction case).
+	for n := 1 + r.intn(2); n > 0; n-- {
+		q.Disjuncts = append(q.Disjuncts, genPlain(r, "a"))
+	}
+	// Deterministic shuffle so subquery position varies across seeds.
+	for i := len(q.Disjuncts) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		q.Disjuncts[i], q.Disjuncts[j] = q.Disjuncts[j], q.Disjuncts[i]
+	}
+	return q
+}
+
+// genPlain draws a subquery-free comparison over the given prefix.
+func genPlain(r *rng, prefix string) Disjunct {
+	if r.pct(20) {
+		return Disjunct{Col: prefix + "3", Op: r.pick("=", "<>"), Str: r.pick("a", "b", "ab")}
+	}
+	col, c := genIntColConst(r, prefix)
+	return Disjunct{Col: col, Op: genOp(r), Const: c}
+}
+
+// genIntColConst pairs an integer column with a constant from its
+// domain, so comparisons are selective rather than vacuous.
+func genIntColConst(r *rng, prefix string) (string, int64) {
+	switch r.intn(3) {
+	case 0:
+		return prefix + "1", int64(r.intn(4))
+	case 1:
+		return prefix + "2", int64(r.intn(3))
+	default:
+		return prefix + "4", int64(r.intn(8)) * 500
+	}
+}
+
+func genOp(r *rng) string { return r.pick("=", "<>", "<", "<=", ">", ">=") }
+
+// genSubDisjunct draws one subquery-bearing disjunct: the nested block
+// plus, for the forms that need it (scalar compare, IN, ALL, ANY), the
+// outer column and operator it links through.
+func genSubDisjunct(r *rng, table, inner, outer string, nest bool) Disjunct {
+	sub := genSubquery(r, table, inner, outer, nest)
+	d := Disjunct{Sub: sub}
+	switch sub.Form {
+	case FormScalar, FormAll, FormAny:
+		d.Col, _ = genIntColConst(r, outer)
+		d.Op = genOp(r)
+	case FormIn:
+		// Pair the outer column with the selected inner column so the
+		// membership test compares matching domains.
+		d.Col = outer + strings.TrimPrefix(sub.Col, inner)
+	}
+	return d
+}
+
+// genSubquery draws one nested block over table (with column prefix
+// inner), correlated to the enclosing scope's prefix outer. nest adds
+// one more level over t (the linear shape).
+func genSubquery(r *rng, table, inner, outer string, nest bool) *Subquery {
+	s := &Subquery{Table: table}
+	switch n := r.intn(100); {
+	case n < 40:
+		s.Form = FormScalar
+	case n < 60:
+		s.Form = FormExists
+		s.Neg = r.pct(30)
+	case n < 75:
+		s.Form = FormIn
+		s.Neg = r.pct(30)
+	case n < 85:
+		s.Form = FormAll
+	default:
+		s.Form = FormAny
+	}
+
+	intCols := []string{inner + "1", inner + "2", inner + "4"}
+	s.Col = intCols[r.intn(3)]
+	if s.Form == FormScalar {
+		if r.pct(30) {
+			s.Agg = "COUNT"
+		} else {
+			s.Agg = r.pick("SUM", "MIN", "MAX")
+		}
+	}
+
+	// Correlation on a matching column pair; equality dominates so the
+	// rewrite's semijoin machinery is reachable.
+	k := r.pick("1", "2", "4")
+	s.CorrInner, s.CorrOuter = inner+k, outer+k
+	if r.pct(70) {
+		s.CorrOp = "="
+	} else {
+		s.CorrOp = genOp(r)
+	}
+
+	if r.pct(50) {
+		g := genGuard(r, inner)
+		s.OrGuard = &g
+	}
+	if r.pct(30) {
+		g := genGuard(r, inner)
+		s.AndGuard = &g
+	}
+
+	if nest {
+		d := genSubDisjunct(r, "t", "c", inner, false)
+		s.Inner = &d
+		s.InnerOr = r.pct(50)
+	}
+	return s
+}
+
+func genGuard(r *rng, prefix string) Guard {
+	col, c := genIntColConst(r, prefix)
+	return Guard{Col: col, Op: genOp(r), Const: c}
+}
+
+// SQL renders the query. The outer disjunction joins at the top level;
+// inner composite predicates are parenthesized explicitly so the
+// rendered text parses back to exactly the generated structure.
+func (q Query) SQL() string {
+	if q.Raw != "" {
+		return q.Raw
+	}
+	parts := make([]string, len(q.Disjuncts))
+	for i, d := range q.Disjuncts {
+		parts[i] = d.render()
+	}
+	return "SELECT DISTINCT * FROM r WHERE " + strings.Join(parts, " OR ")
+}
+
+func (d Disjunct) render() string {
+	if d.Sub == nil {
+		if d.Str != "" {
+			return fmt.Sprintf("%s %s '%s'", d.Col, d.Op, d.Str)
+		}
+		return fmt.Sprintf("%s %s %d", d.Col, d.Op, d.Const)
+	}
+	s := d.Sub
+	switch s.Form {
+	case FormScalar:
+		agg := s.Agg + "(" + s.Col + ")"
+		if s.Agg == "COUNT" {
+			agg = "COUNT(*)"
+		}
+		return fmt.Sprintf("%s %s (SELECT %s FROM %s WHERE %s)", d.Col, d.Op, agg, s.Table, s.where())
+	case FormExists:
+		not := ""
+		if s.Neg {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%sEXISTS (SELECT * FROM %s WHERE %s)", not, s.Table, s.where())
+	case FormIn:
+		kw := "IN"
+		if s.Neg {
+			kw = "NOT IN"
+		}
+		return fmt.Sprintf("%s %s (SELECT %s FROM %s WHERE %s)", d.Col, kw, s.Col, s.Table, s.where())
+	case FormAll:
+		return fmt.Sprintf("%s %s ALL (SELECT %s FROM %s WHERE %s)", d.Col, d.Op, s.Col, s.Table, s.where())
+	default: // FormAny
+		return fmt.Sprintf("%s %s ANY (SELECT %s FROM %s WHERE %s)", d.Col, d.Op, s.Col, s.Table, s.where())
+	}
+}
+
+func (s *Subquery) where() string {
+	expr := fmt.Sprintf("%s %s %s", s.CorrInner, s.CorrOp, s.CorrOuter)
+	if s.OrGuard != nil {
+		expr += " OR " + s.OrGuard.render()
+	}
+	if s.AndGuard != nil {
+		if s.OrGuard != nil {
+			expr = "(" + expr + ")"
+		}
+		expr += " AND " + s.AndGuard.render()
+	}
+	if s.Inner != nil {
+		join := " AND "
+		if s.InnerOr {
+			join = " OR "
+		}
+		expr = "(" + expr + ")" + join + s.Inner.render()
+	}
+	return expr
+}
+
+func (g Guard) render() string {
+	return fmt.Sprintf("%s %s %d", g.Col, g.Op, g.Const)
+}

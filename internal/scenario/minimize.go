@@ -1,0 +1,112 @@
+package scenario
+
+// Minimize delta-debugs a diverging scenario down to a small witness:
+// it repeatedly tries structural simplifications — drop a disjunct,
+// flatten a nesting level, strip a subquery's guards, shrink a
+// relation, strip NULLs — keeping each candidate only if diverges
+// still holds, until a full pass makes no progress. The result is the
+// scenario a human debugs and the seed file a regression test replays.
+func Minimize(sc *Scenario, diverges func(*Scenario) bool) *Scenario {
+	cur := sc.Clone()
+	for {
+		next, changed := pass(cur, diverges)
+		if !changed {
+			return next
+		}
+		cur = next
+	}
+}
+
+// pass tries every simplification once, left to right, returning the
+// reduced scenario and whether anything stuck.
+func pass(sc *Scenario, diverges func(*Scenario) bool) (*Scenario, bool) {
+	changed := false
+	try := func(c *Scenario) bool {
+		if diverges(c) {
+			sc = c
+			changed = true
+			return true
+		}
+		return false
+	}
+
+	// Drop whole disjuncts (keep at least one).
+	for i := 0; len(sc.Query.Disjuncts) > 1 && i < len(sc.Query.Disjuncts); {
+		c := sc.Clone()
+		c.Query.Disjuncts = append(c.Query.Disjuncts[:i], c.Query.Disjuncts[i+1:]...)
+		if !try(c) {
+			i++
+		}
+	}
+
+	// Flatten nesting and strip guards. Each strip only runs when it
+	// would actually remove something: a no-op candidate equals the
+	// current scenario, still diverges, and would count as progress
+	// forever.
+	strips := []struct {
+		has   func(*Subquery) bool
+		strip func(*Subquery)
+	}{
+		{func(s *Subquery) bool { return s.Inner != nil }, func(s *Subquery) { s.Inner = nil }},
+		{func(s *Subquery) bool { return s.OrGuard != nil }, func(s *Subquery) { s.OrGuard = nil }},
+		{func(s *Subquery) bool { return s.AndGuard != nil }, func(s *Subquery) { s.AndGuard = nil }},
+	}
+	for i := range sc.Query.Disjuncts {
+		for _, st := range strips {
+			if sub := sc.Query.Disjuncts[i].Sub; sub == nil || !st.has(sub) {
+				continue
+			}
+			c := sc.Clone()
+			st.strip(c.Query.Disjuncts[i].Sub)
+			try(c)
+		}
+		// The inner level, when it survives, gets its guards stripped
+		// too.
+		for _, st := range strips[1:] {
+			sub := sc.Query.Disjuncts[i].Sub
+			if sub == nil || sub.Inner == nil || sub.Inner.Sub == nil || !st.has(sub.Inner.Sub) {
+				continue
+			}
+			c := sc.Clone()
+			st.strip(c.Query.Disjuncts[i].Sub.Inner.Sub)
+			try(c)
+		}
+	}
+
+	// Shrink relations: halves first (classic ddmin granularity), then
+	// single rows.
+	for ti := range sc.Tables {
+		for {
+			n := len(sc.Tables[ti].Rows)
+			if n < 2 {
+				break
+			}
+			c := sc.Clone()
+			c.Tables[ti].Rows = c.Tables[ti].Rows[:n/2]
+			if try(c) {
+				continue
+			}
+			c = sc.Clone()
+			c.Tables[ti].Rows = c.Tables[ti].Rows[n/2:]
+			if !try(c) {
+				break
+			}
+		}
+		for ri := 0; len(sc.Tables[ti].Rows) > 0 && ri < len(sc.Tables[ti].Rows); {
+			c := sc.Clone()
+			c.Tables[ti].Rows = append(c.Tables[ti].Rows[:ri], c.Tables[ti].Rows[ri+1:]...)
+			if !try(c) {
+				ri++
+			}
+		}
+	}
+
+	// Strip NULLs last: a divergence that survives without NULLs is a
+	// logic bug, not a three-valued-logic edge, and the simpler witness
+	// is worth surfacing.
+	if sc.HasNulls() {
+		try(sc.StripNulls())
+	}
+
+	return sc, changed
+}

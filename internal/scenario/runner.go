@@ -1,0 +1,315 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"disqo"
+	"disqo/internal/types"
+)
+
+// Config is one cell of the differential matrix.
+type Config struct {
+	Strategy disqo.Strategy
+	Path     disqo.ExecutionPath
+	Cache    string // "uncached", "cold", "warm", "prepared"
+	Workers  int
+	Nulls    disqo.NullMode
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%s/w%d/%s", c.Strategy, c.Path, c.Cache, c.Workers, c.Nulls)
+}
+
+// Divergence is two matrix cells disagreeing on one query: the
+// engine's strategy-equivalence contract is broken (or, for a
+// cross-mode check on NULL-free data, 2VL and 3VL split).
+type Divergence struct {
+	Seed    uint64
+	SQL     string
+	ConfigA string
+	ConfigB string
+	PrintA  string
+	PrintB  string
+	CrossVL bool // 2VL vs 3VL on NULL-free data, rather than intra-mode
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("scenario seed %d: %s and %s disagree on %q:\n--- %s ---\n%s--- %s ---\n%s",
+		d.Seed, d.ConfigA, d.ConfigB, d.SQL, d.ConfigA, d.PrintA, d.ConfigB, d.PrintB)
+}
+
+// Outcome summarizes one scenario's sweep across the matrix.
+type Outcome struct {
+	Runs       int
+	Errors     int // configs that returned a (uniform) engine error
+	Divergence *Divergence
+}
+
+// Runner executes scenarios across the full strategy matrix and
+// reports the first divergence. The zero value runs the complete
+// matrix with a 2-second per-query timeout.
+type Runner struct {
+	// Timeout bounds each query; 0 means 2s.
+	Timeout time.Duration
+	// Workers lists the worker counts to sweep; nil means {1, 4}.
+	Workers []int
+	// Tamper, when set, rewrites the SQL a strategy executes — the
+	// planted-bug seam the minimizer tests use to simulate an unsound
+	// rewrite. Production sweeps leave it nil.
+	Tamper func(s disqo.Strategy, sql string) string
+}
+
+func (r *Runner) timeout() time.Duration {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (r *Runner) workers() []int {
+	if len(r.Workers) > 0 {
+		return r.Workers
+	}
+	return []int{1, 4}
+}
+
+var strategies = []disqo.Strategy{disqo.Canonical, disqo.Unnested}
+var paths = []disqo.ExecutionPath{disqo.PathRow, disqo.PathVector}
+var modes = []disqo.NullMode{disqo.ThreeValuedNulls, disqo.TwoValuedNulls}
+
+// Check sweeps one scenario across the full matrix. Within one null
+// mode every cell must produce the identical fingerprint; additionally
+// 2VL and 3VL must agree exactly on the scenario's NULL-free twin. A
+// query that errors uniformly (every cell fails) is counted, not
+// flagged — generated queries are valid, so that indicates a budget,
+// not a divergence.
+func (r *Runner) Check(sc *Scenario) (*Outcome, error) {
+	out := &Outcome{}
+	if err := r.sweep(sc, out); err != nil || out.Divergence != nil {
+		return out, err
+	}
+	// Cross-logic identity: without NULLs, lifting Unknown→False is a
+	// no-op, so the two logics must agree bit for bit. Run the twin
+	// (or the scenario itself when it is already NULL-free) once per
+	// mode on a reduced matrix and compare across modes.
+	twin := sc
+	if sc.HasNulls() {
+		twin = sc.StripNulls()
+	}
+	return out, r.crossCheck(twin, out)
+}
+
+// sweep runs the intra-mode identity check: all cells of one null mode
+// agree on the fingerprint.
+func (r *Runner) sweep(sc *Scenario, out *Outcome) error {
+	cached, err := buildDB(sc, true)
+	if err != nil {
+		return err
+	}
+	defer cached.Close()
+	uncached, err := buildDB(sc, false)
+	if err != nil {
+		return err
+	}
+	defer uncached.Close()
+
+	sql := sc.Query.SQL()
+	for _, mode := range modes {
+		var ref *runResult
+		for _, strat := range strategies {
+			stmtSQL := sql
+			if r.Tamper != nil {
+				stmtSQL = r.Tamper(strat, sql)
+			}
+			stmt, err := cached.Prepare(stmtSQL)
+			if err != nil {
+				return fmt.Errorf("scenario seed %d: prepare %q: %w", sc.Seed, stmtSQL, err)
+			}
+			for _, path := range paths {
+				for _, w := range r.workers() {
+					base := Config{Strategy: strat, Path: path, Workers: w, Nulls: mode}
+					opts := []disqo.Option{
+						disqo.WithStrategy(strat),
+						disqo.WithExecutionPath(path),
+						disqo.WithWorkers(w),
+						disqo.WithNullMode(mode),
+						disqo.WithTimeout(r.timeout()),
+						disqo.WithTupleLimit(1_000_000),
+					}
+					run := func(cache string, exec func() (*disqo.Result, error)) bool {
+						cfg := base
+						cfg.Cache = cache
+						res, err := exec()
+						out.Runs++
+						ref = out.compare(sc, sql, cfg, res, err, ref)
+						return out.Divergence == nil
+					}
+					ok := run("uncached", func() (*disqo.Result, error) { return uncached.Query(stmtSQL, opts...) }) &&
+						run("cold", func() (*disqo.Result, error) { return cached.Query(stmtSQL, opts...) }) &&
+						run("warm", func() (*disqo.Result, error) { return cached.Query(stmtSQL, opts...) }) &&
+						run("prepared", func() (*disqo.Result, error) { return stmt.Query(opts...) })
+					if !ok {
+						stmt.Close()
+						return nil
+					}
+				}
+			}
+			stmt.Close()
+		}
+	}
+	return nil
+}
+
+// crossCheck asserts 2VL ≡ 3VL on NULL-free data over a reduced matrix
+// (strategy × path, warm cache, single worker count).
+func (r *Runner) crossCheck(sc *Scenario, out *Outcome) error {
+	db, err := buildDB(sc, true)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	sql := sc.Query.SQL()
+	var ref *runResult
+	for _, strat := range strategies {
+		stmtSQL := sql
+		if r.Tamper != nil {
+			stmtSQL = r.Tamper(strat, sql)
+		}
+		for _, path := range paths {
+			for _, mode := range modes {
+				cfg := Config{Strategy: strat, Path: path, Cache: "warm", Workers: 1, Nulls: mode}
+				res, err := db.Query(stmtSQL,
+					disqo.WithStrategy(strat),
+					disqo.WithExecutionPath(path),
+					disqo.WithNullMode(mode),
+					disqo.WithTimeout(r.timeout()),
+					disqo.WithTupleLimit(1_000_000))
+				out.Runs++
+				ref = out.compareCross(sc, sql, cfg, res, err, ref)
+				if out.Divergence != nil {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runResult is the first successful (or first failing) cell a sweep
+// saw — the reference every later cell is compared against.
+type runResult struct {
+	cfg   Config
+	print string
+	err   error
+}
+
+func (o *Outcome) compare(sc *Scenario, sql string, cfg Config, res *disqo.Result, err error, ref *runResult) *runResult {
+	return o.compareRef(sc, sql, cfg, res, err, ref, false)
+}
+
+func (o *Outcome) compareCross(sc *Scenario, sql string, cfg Config, res *disqo.Result, err error, ref *runResult) *runResult {
+	return o.compareRef(sc, sql, cfg, res, err, ref, true)
+}
+
+func (o *Outcome) compareRef(sc *Scenario, sql string, cfg Config, res *disqo.Result, err error, ref *runResult, cross bool) *runResult {
+	cur := &runResult{cfg: cfg, err: err}
+	if err == nil {
+		cur.print = Fingerprint(res)
+	} else {
+		o.Errors++
+	}
+	if ref == nil {
+		return cur
+	}
+	// Mode partitions the intra-mode check: cells of different modes
+	// may legitimately differ when NULLs are in play. The cross check
+	// compares across modes on purpose (NULL-free data).
+	if !cross && cfg.Nulls != ref.cfg.Nulls {
+		return &runResult{cfg: cfg, print: cur.print, err: err}
+	}
+	switch {
+	case ref.err == nil && err == nil && ref.print != cur.print:
+		o.Divergence = &Divergence{
+			Seed: sc.Seed, SQL: sql, CrossVL: cross,
+			ConfigA: ref.cfg.String(), ConfigB: cfg.String(),
+			PrintA: ref.print, PrintB: cur.print,
+		}
+	case (ref.err == nil) != (err == nil):
+		a, b := ref.print, cur.print
+		if ref.err != nil {
+			a = "error: " + ref.err.Error() + "\n"
+		}
+		if err != nil {
+			b = "error: " + err.Error() + "\n"
+		}
+		o.Divergence = &Divergence{
+			Seed: sc.Seed, SQL: sql, CrossVL: cross,
+			ConfigA: ref.cfg.String(), ConfigB: cfg.String(),
+			PrintA: a, PrintB: b,
+		}
+	}
+	return ref
+}
+
+// Fingerprint renders a result order-insensitively: the column header
+// plus every row formatted and sorted under the engine's NULLs-first
+// total order. Two results with the same fingerprint are the same bag
+// of tuples.
+func Fingerprint(res *disqo.Result) string {
+	rows := make([][]types.Value, len(res.Rows))
+	copy(rows, res.Rows)
+	sort.SliceStable(rows, func(i, j int) bool {
+		return types.OrderTuples(rows[i], rows[j]) < 0
+	})
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(types.FormatTuple(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Load materializes the scenario's relations into db — the same tables
+// the differential runner builds, exposed so `disqo -seed N` can
+// reproduce a reported divergence in the interactive shell.
+func Load(db *disqo.DB, sc *Scenario) error {
+	for _, t := range sc.Tables {
+		cols := make([]disqo.Column, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = disqo.Column{Name: c.Name, Type: c.Kind}
+		}
+		if err := db.CreateTable(t.Name, cols); err != nil {
+			return err
+		}
+		if len(t.Rows) > 0 {
+			if err := db.Insert(t.Name, t.Rows...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildDB materializes the scenario's relations in a fresh in-memory
+// engine, cached or not (the uncached engine is the matrix's
+// "no result/plan reuse" column).
+func buildDB(sc *Scenario, cached bool) (*disqo.DB, error) {
+	var opts []disqo.OpenOption
+	if !cached {
+		opts = append(opts, disqo.WithoutCache())
+	}
+	db, err := disqo.Open(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := Load(db, sc); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}

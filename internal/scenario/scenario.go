@@ -1,0 +1,154 @@
+// Package scenario is the adversarial scenario engine: a seeded,
+// grammar-based generator of nested disjunctive scalar queries paired
+// with a seeded data generator that NULL-salts and skews small
+// relations, a differential runner that executes every generated query
+// across the full strategy matrix — canonical vs. unnested × row vs.
+// vector path × cached (cold/warm/prepared) vs. uncached × worker
+// counts — requiring identical result fingerprints, and a
+// delta-debugging minimizer that shrinks any divergence to a small
+// replayable seed file checked into testdata/scenario/.
+//
+// Everything is derived deterministically from one uint64 seed: the
+// same seed always produces byte-identical tables and SQL, so a
+// reported divergence is reproducible from its seed alone
+// (`disqo -seed N` territory; see README).
+package scenario
+
+import "disqo/internal/types"
+
+// Scenario is one generated test case: three small relations (the
+// paper's r/s/t shape) and one nested disjunctive query over them.
+type Scenario struct {
+	Seed   uint64
+	Tables []Table
+	Query  Query
+}
+
+// Table is one generated relation with concrete rows (NULLs included).
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]types.Value
+}
+
+// Column is one column of a generated relation.
+type Column struct {
+	Name string
+	Kind types.Kind
+}
+
+// Clone deep-copies the scenario so the minimizer can mutate
+// candidates without touching the original.
+func (s *Scenario) Clone() *Scenario {
+	out := &Scenario{Seed: s.Seed, Query: s.Query.clone()}
+	out.Tables = make([]Table, len(s.Tables))
+	for i, t := range s.Tables {
+		nt := Table{Name: t.Name, Columns: append([]Column(nil), t.Columns...)}
+		nt.Rows = make([][]types.Value, len(t.Rows))
+		for j, r := range t.Rows {
+			nt.Rows[j] = append([]types.Value(nil), r...)
+		}
+		out.Tables[i] = nt
+	}
+	return out
+}
+
+// HasNulls reports whether any cell of any table is NULL.
+func (s *Scenario) HasNulls() bool {
+	for _, t := range s.Tables {
+		for _, r := range t.Rows {
+			for _, v := range r {
+				if v.IsNull() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// StripNulls replaces every NULL cell with the column type's zero
+// value, producing the NULL-free twin used for the 2VL/3VL identity
+// cross-check (the two logics must agree exactly without NULLs).
+func (s *Scenario) StripNulls() *Scenario {
+	out := s.Clone()
+	for ti := range out.Tables {
+		t := &out.Tables[ti]
+		for _, row := range t.Rows {
+			for ci, v := range row {
+				if !v.IsNull() {
+					continue
+				}
+				if t.Columns[ci].Kind == types.KindString {
+					row[ci] = types.NewString("")
+				} else {
+					row[ci] = types.NewInt(0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Complexity scores how hard a scenario works the optimizer: subquery
+// atoms, nesting depth, correlation disjunctions, guards, disjunct
+// count, and NULL-salted cells all add weight. Used to pick the
+// hardest generated shapes as checked-in goldens.
+func Complexity(sc *Scenario) int {
+	score := len(sc.Query.Disjuncts)
+	var walk func(d Disjunct)
+	walk = func(d Disjunct) {
+		s := d.Sub
+		if s == nil {
+			return
+		}
+		score += 3
+		if s.OrGuard != nil {
+			score += 2
+		}
+		if s.AndGuard != nil {
+			score++
+		}
+		if s.Neg {
+			score++
+		}
+		if s.Inner != nil {
+			score += 2
+			walk(*s.Inner)
+		}
+	}
+	for _, d := range sc.Query.Disjuncts {
+		walk(d)
+	}
+	for _, t := range sc.Tables {
+		for _, r := range t.Rows {
+			for _, v := range r {
+				if v.IsNull() {
+					score++
+				}
+			}
+		}
+	}
+	return score
+}
+
+// rng is a splitmix64 stream: tiny, fast, and deterministic — the same
+// generator idiom internal/datagen uses, so scenarios reproduce
+// bit-identically from their seed on any platform.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+func (r *rng) pick(ss ...string) string { return ss[r.intn(len(ss))] }

@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"disqo"
+	"disqo/internal/testutil"
+)
+
+// TestGeneratorDeterminism: the whole point of seeding — the same seed
+// must reproduce the identical scenario, byte for byte, across calls.
+func TestGeneratorDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Query.SQL() != b.Query.SQL() {
+			t.Fatalf("seed %d: SQL differs:\n%s\n%s", seed, a.Query.SQL(), b.Query.SQL())
+		}
+		aj, _ := json.Marshal(ToSeedFile(a, "", "", ""))
+		bj, _ := json.Marshal(ToSeedFile(b, "", "", ""))
+		if string(aj) != string(bj) {
+			t.Fatalf("seed %d: serialized scenarios differ", seed)
+		}
+	}
+}
+
+// TestGeneratorVariety: the grammar must actually cover its axes —
+// every shape, NULLs somewhere, correlation disjunctions somewhere.
+func TestGeneratorVariety(t *testing.T) {
+	shapes := map[Shape]bool{}
+	var nulls, orGuards, subforms int
+	forms := map[SubForm]bool{}
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := Generate(seed)
+		shapes[sc.Query.Shape] = true
+		if sc.HasNulls() {
+			nulls++
+		}
+		for _, d := range sc.Query.Disjuncts {
+			if d.Sub != nil {
+				forms[d.Sub.Form] = true
+				subforms++
+				if d.Sub.OrGuard != nil {
+					orGuards++
+				}
+			}
+		}
+	}
+	if len(shapes) != 3 {
+		t.Errorf("200 seeds covered shapes %v, want all 3", shapes)
+	}
+	if len(forms) != 5 {
+		t.Errorf("200 seeds covered subquery forms %v, want all 5", forms)
+	}
+	if nulls < 100 {
+		t.Errorf("only %d/200 scenarios have NULLs", nulls)
+	}
+	if orGuards == 0 {
+		t.Error("no scenario generated a correlation disjunction")
+	}
+}
+
+// TestGeneratedQueriesParse: every generated query must be accepted by
+// the engine — the generator emits valid SQL by construction, so a
+// parse or plan error is a generator bug, not an engine finding.
+func TestGeneratedQueriesParse(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		sc := Generate(seed)
+		db, err := buildDB(sc, true)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		if _, err := db.Explain(sc.Query.SQL()); err != nil {
+			t.Errorf("seed %d: %q does not plan: %v", seed, sc.Query.SQL(), err)
+		}
+		db.Close()
+	}
+}
+
+// TestRunnerSweep runs a seed range through the full matrix and
+// requires zero divergences — the engine's strategy-equivalence
+// contract, enforced differentially. Default is a modest range so
+// `go test ./...` stays quick; verify.sh sets SCENARIO_SEEDS=500 for
+// the full sweep under -race.
+func TestRunnerSweep(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	r := &Runner{}
+	seeds := uint64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	if env := os.Getenv("SCENARIO_SEEDS"); env != "" {
+		n, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad SCENARIO_SEEDS %q: %v", env, err)
+		}
+		seeds = n
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		out, err := r.Check(Generate(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Divergence != nil {
+			t.Fatalf("seed %d diverged: %s", seed, out.Divergence.Error())
+		}
+	}
+}
+
+// TestMinimizerConvergence plants an unsound "rewrite" (the tamper
+// seam flips the unnested strategy's top-level OR to AND), confirms
+// the differential runner catches it, and requires the minimizer to
+// shrink the witness to at most 3 disjuncts and a handful of rows —
+// then round-trips the minimized witness through a seed file.
+func TestMinimizerConvergence(t *testing.T) {
+	tamper := func(s disqo.Strategy, sql string) string {
+		if s == disqo.Unnested {
+			return strings.Replace(sql, " OR ", " AND ", 1)
+		}
+		return sql
+	}
+	r := &Runner{Tamper: tamper}
+	var sc *Scenario
+	var firstDiv *Divergence
+	for seed := uint64(0); seed < 50; seed++ {
+		cand := Generate(seed)
+		out, err := r.Check(cand)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Divergence != nil {
+			sc, firstDiv = cand, out.Divergence
+			break
+		}
+	}
+	if sc == nil {
+		t.Fatal("planted OR→AND bug was not caught in 50 seeds")
+	}
+
+	min := Minimize(sc, func(c *Scenario) bool {
+		out, err := r.Check(c)
+		return err == nil && out.Divergence != nil
+	})
+	if n := len(min.Query.Disjuncts); n > 3 {
+		t.Errorf("minimized to %d disjuncts, want <= 3", n)
+	}
+	var rows int
+	for _, tb := range min.Tables {
+		rows += len(tb.Rows)
+	}
+	if orig := totalRows(sc); rows > orig {
+		t.Errorf("minimization grew the data: %d rows from %d", rows, orig)
+	}
+	out, err := r.Check(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Divergence == nil {
+		t.Fatal("minimized scenario no longer diverges")
+	}
+
+	// Emit and replay the seed file: with the tamper still planted the
+	// divergence must reproduce from disk; with it removed the replay
+	// must come back clean.
+	path := filepath.Join(t.TempDir(), "planted.json")
+	sf := ToSeedFile(min, "planted OR→AND tamper", firstDiv.ConfigA, firstDiv.ConfigB)
+	if err := sf.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSeedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := loaded.Replay(r); err != nil || out.Divergence == nil {
+		t.Fatalf("replay with planted bug: err=%v divergence=%v, want a divergence", err, out.Divergence)
+	}
+	if out, err := loaded.Replay(&Runner{}); err != nil || out.Divergence != nil {
+		t.Fatalf("replay on healthy engine: err=%v divergence=%v, want clean", err, out.Divergence)
+	}
+}
+
+func totalRows(sc *Scenario) int {
+	var n int
+	for _, tb := range sc.Tables {
+		n += len(tb.Rows)
+	}
+	return n
+}
+
+// TestSeedFileRoundTrip: serialization preserves values exactly,
+// NULLs included.
+func TestSeedFileRoundTrip(t *testing.T) {
+	sc := Generate(7)
+	path := filepath.Join(t.TempDir(), "roundtrip.json")
+	if err := ToSeedFile(sc, "roundtrip", "", "").Write(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadSeedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SQL != sc.Query.SQL() {
+		t.Fatalf("SQL mismatch: %q vs %q", f.SQL, sc.Query.SQL())
+	}
+	got := f.tables()
+	if len(got) != len(sc.Tables) {
+		t.Fatalf("table count %d, want %d", len(got), len(sc.Tables))
+	}
+	for i, tb := range got {
+		want := sc.Tables[i]
+		if len(tb.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d rows, want %d", tb.Name, len(tb.Rows), len(want.Rows))
+		}
+		for j, row := range tb.Rows {
+			for k, v := range row {
+				w := want.Rows[j][k]
+				if v.IsNull() != w.IsNull() || v.String() != w.String() {
+					t.Fatalf("%s[%d][%d]: %v, want %v", tb.Name, j, k, v, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoValuedModeDiffers: sanity that WithNullMode is actually
+// reaching evaluation — on data where a NULL comparison decides
+// membership, 2VL (NULL = x is false) must return fewer rows than 3VL
+// never... rather, the two modes must differ on a crafted query.
+func TestTwoValuedModeDiffers(t *testing.T) {
+	db, err := disqo.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("r", []disqo.Column{{Name: "a1", Type: disqo.TypeInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("r", []disqo.Value{disqo.Int(1)}, []disqo.Value{{}}); err != nil {
+		t.Fatal(err)
+	}
+	// NOT (a1 = 0): 3VL drops the NULL row (unknown), 2VL keeps it
+	// (a1 = 0 lifts to false, NOT false = true).
+	const q = "SELECT * FROM r WHERE NOT (a1 = 0)"
+	three, err := db.Query(q, disqo.WithNullMode(disqo.ThreeValuedNulls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := db.Query(q, disqo.WithNullMode(disqo.TwoValuedNulls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(three.Rows) != 1 || len(two.Rows) != 2 {
+		t.Fatalf("3VL returned %d rows and 2VL %d, want 1 and 2", len(three.Rows), len(two.Rows))
+	}
+}

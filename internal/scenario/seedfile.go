@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"disqo/internal/types"
+)
+
+// SeedFile is the on-disk form of a minimized divergence: everything
+// needed to replay it — the relations (NULLs explicit) and the SQL —
+// plus provenance (the generator seed and the matrix cells that
+// disagreed when it was captured). Checked into testdata/scenario/,
+// replayed forever by the golden test at the repo root.
+type SeedFile struct {
+	Seed    uint64      `json:"seed"`
+	SQL     string      `json:"sql"`
+	Note    string      `json:"note,omitempty"`
+	ConfigA string      `json:"config_a,omitempty"`
+	ConfigB string      `json:"config_b,omitempty"`
+	Tables  []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name    string       `json:"name"`
+	Columns []columnJSON `json:"columns"`
+	Rows    [][]cellJSON `json:"rows"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "int" or "string"
+}
+
+// cellJSON is one value: null, an integer (as float64 via JSON), or a
+// string.
+type cellJSON struct {
+	v types.Value
+}
+
+func (c cellJSON) MarshalJSON() ([]byte, error) {
+	switch {
+	case c.v.IsNull():
+		return []byte("null"), nil
+	case c.v.Kind() == types.KindString:
+		return json.Marshal(c.v.Str())
+	default:
+		return json.Marshal(c.v.Int())
+	}
+}
+
+func (c *cellJSON) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		c.v = types.Null()
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		c.v = types.NewString(s)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return err
+	}
+	c.v = types.NewInt(n)
+	return nil
+}
+
+// ToSeedFile renders a scenario (typically post-minimization) with the
+// divergence's provenance attached.
+func ToSeedFile(sc *Scenario, note, configA, configB string) *SeedFile {
+	f := &SeedFile{
+		Seed: sc.Seed, SQL: sc.Query.SQL(),
+		Note: note, ConfigA: configA, ConfigB: configB,
+	}
+	for _, t := range sc.Tables {
+		tj := tableJSON{Name: t.Name}
+		for _, c := range t.Columns {
+			kind := "int"
+			if c.Kind == types.KindString {
+				kind = "string"
+			}
+			tj.Columns = append(tj.Columns, columnJSON{Name: c.Name, Kind: kind})
+		}
+		for _, row := range t.Rows {
+			rj := make([]cellJSON, len(row))
+			for i, v := range row {
+				rj[i] = cellJSON{v}
+			}
+			tj.Rows = append(tj.Rows, rj)
+		}
+		f.Tables = append(f.Tables, tj)
+	}
+	return f
+}
+
+// tables reconstructs the stored relations. The query structure is not
+// persisted — replay executes the stored SQL verbatim.
+func (f *SeedFile) tables() []Table {
+	out := make([]Table, 0, len(f.Tables))
+	for _, tj := range f.Tables {
+		t := Table{Name: tj.Name}
+		for _, c := range tj.Columns {
+			kind := types.KindInt
+			if c.Kind == "string" {
+				kind = types.KindString
+			}
+			t.Columns = append(t.Columns, Column{Name: c.Name, Kind: kind})
+		}
+		for _, rj := range tj.Rows {
+			row := make([]types.Value, len(rj))
+			for i, c := range rj {
+				row[i] = c.v
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Write persists the seed file as indented JSON at path, creating the
+// directory if needed.
+func (f *SeedFile) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSeedFile reads one seed file back.
+func LoadSeedFile(path string) (*SeedFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f SeedFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Replay sweeps the stored relations and SQL across the full matrix
+// with the given runner and reports the outcome. A fixed engine keeps
+// returning a nil Divergence; a regression resurfaces here.
+func (f *SeedFile) Replay(r *Runner) (*Outcome, error) {
+	sc := &Scenario{Seed: f.Seed, Tables: f.tables(), Query: Query{Raw: f.SQL}}
+	return r.Check(sc)
+}

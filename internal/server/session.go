@@ -60,6 +60,7 @@ type session struct {
 	prepared map[string]string
 	strategy string
 	path     string
+	nulls    string
 	timeout  time.Duration
 }
 
@@ -333,7 +334,28 @@ func (s *session) queryOptions(req *wire.Request) ([]disqo.Option, *wire.Error) 
 		}
 		opts = append(opts, disqo.WithExecutionPath(p))
 	}
+	nulls := req.Nulls
+	if nulls == "" {
+		nulls = s.nulls
+	}
+	if nulls != "" {
+		m, ok := parseNulls(nulls)
+		if !ok {
+			return nil, &wire.Error{Kind: wire.KindInvalid, Message: "unknown null mode " + nulls}
+		}
+		opts = append(opts, disqo.WithNullMode(m))
+	}
 	return opts, nil
+}
+
+func parseNulls(s string) (disqo.NullMode, bool) {
+	switch s {
+	case "3vl":
+		return disqo.ThreeValuedNulls, true
+	case "2vl":
+		return disqo.TwoValuedNulls, true
+	}
+	return disqo.ThreeValuedNulls, false
 }
 
 func parseStrategy(s string) (disqo.Strategy, bool) {
@@ -423,6 +445,12 @@ func (s *session) doSet(req *wire.Request) *wire.Response {
 			return errResp(req.ID, wire.KindInvalid, "unknown execution path "+req.Path)
 		}
 		s.path = req.Path
+	}
+	if req.Nulls != "" {
+		if _, ok := parseNulls(req.Nulls); !ok {
+			return errResp(req.ID, wire.KindInvalid, "unknown null mode "+req.Nulls)
+		}
+		s.nulls = req.Nulls
 	}
 	if req.TimeoutMS > 0 {
 		s.timeout = time.Duration(req.TimeoutMS) * time.Millisecond

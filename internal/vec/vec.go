@@ -86,11 +86,20 @@ func (s *Scalar) Cols() []int { return s.cols }
 // Expr returns the source expression the scalar was compiled from.
 func (s *Scalar) Expr() algebra.Expr { return s.src }
 
-// Eval evaluates the predicate over rows [lo,hi) of b. res[i-lo] holds
-// row i's truth value; cmps is the number of comparisons charged,
-// matching what the row interpreter would charge for the same rows.
+// Eval evaluates the predicate over rows [lo,hi) of b under the default
+// three-valued logic. res[i-lo] holds row i's truth value; cmps is the
+// number of comparisons charged, matching what the row interpreter
+// would charge for the same rows.
 func (p *Pred) Eval(b *storage.Batch, lo, hi int) (res []types.TriBool, cmps int64, err error) {
-	ctx := newEvalCtx(b, lo, hi-lo)
+	return p.EvalMode(b, lo, hi, types.ThreeValued)
+}
+
+// EvalMode is Eval under an explicit null mode. The mode is a runtime
+// parameter, not a compile-time one: the same compiled program serves
+// both logics, with two-valued mode lifting Unknown to False at the
+// comparison, LIKE, and value-coercion leaves.
+func (p *Pred) EvalMode(b *storage.Batch, lo, hi int, nulls types.NullMode) (res []types.TriBool, cmps int64, err error) {
+	ctx := newEvalCtx(b, lo, hi-lo, nulls)
 	res = make([]types.TriBool, hi-lo)
 	if err := p.root.eval(ctx, ctx.allRows(), res); err != nil {
 		return nil, ctx.cmps, err
@@ -98,9 +107,17 @@ func (p *Pred) Eval(b *storage.Batch, lo, hi int) (res []types.TriBool, cmps int
 	return res, ctx.cmps, nil
 }
 
-// Eval evaluates the scalar over rows [lo,hi) of b.
+// Eval evaluates the scalar over rows [lo,hi) of b under the default
+// three-valued logic.
 func (s *Scalar) Eval(b *storage.Batch, lo, hi int) (res []types.Value, cmps int64, err error) {
-	ctx := newEvalCtx(b, lo, hi-lo)
+	return s.EvalMode(b, lo, hi, types.ThreeValued)
+}
+
+// EvalMode is Eval under an explicit null mode; the mode only matters
+// for predicates rendered as values (spred), whose truth values follow
+// the mode's leaf lifting.
+func (s *Scalar) EvalMode(b *storage.Batch, lo, hi int, nulls types.NullMode) (res []types.Value, cmps int64, err error) {
+	ctx := newEvalCtx(b, lo, hi-lo, nulls)
 	res = make([]types.Value, hi-lo)
 	if err := s.root.eval(ctx, ctx.allRows(), res); err != nil {
 		return nil, ctx.cmps, err

@@ -100,10 +100,13 @@ type Request struct {
 	// Name references a session prepared statement (prepare/close, and
 	// query when SQL is empty).
 	Name string `json:"name,omitempty"`
-	// Strategy/Path override the session defaults for this request
-	// (query) or set them (set).
+	// Strategy/Path/Nulls override the session defaults for this
+	// request (query) or set them (set). Nulls selects the null
+	// semantics: "3vl" (SQL three-valued, the default) or "2vl"
+	// (comparisons with NULL are false).
 	Strategy string `json:"strategy,omitempty"`
 	Path     string `json:"path,omitempty"`
+	Nulls    string `json:"nulls,omitempty"`
 	// TimeoutMS bounds this request's execution; 0 uses the session
 	// default. The deadline is wired into QueryContext, so expiry
 	// aborts within one morsel.

@@ -1,0 +1,48 @@
+package disqo_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"disqo/internal/scenario"
+)
+
+// TestScenarioGoldens replays every checked-in scenario seed file in
+// testdata/scenario/ across the full differential matrix — canonical
+// vs. unnested × row vs. vector × uncached/cold/warm/prepared ×
+// worker counts × both null modes — and fails on any divergence.
+//
+// Files land here two ways: the hardest generated shapes (regenerate
+// with `go run ./internal/scenario/genseeds`) and minimized witnesses
+// of past divergences. Either way the contract is the same: once a
+// seed is checked in, the engine answers it identically on every
+// strategy, path, cache tier, and worker count, forever. Reproduce a
+// failure interactively by loading the JSON's tables and running its
+// SQL under the two configurations the file names.
+func TestScenarioGoldens(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "scenario", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no seed files in testdata/scenario — the golden corpus is missing")
+	}
+	r := &scenario.Runner{}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			f, err := scenario.LoadSeedFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := f.Replay(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Divergence != nil {
+				t.Fatalf("checked-in seed regressed: %s", out.Divergence.Error())
+			}
+		})
+	}
+}

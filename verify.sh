@@ -21,8 +21,10 @@
 # under load with prefix-legal recovery, replica failover) plus a
 # disqod end-to-end smoke (remote DDL/DML/query over TCP, SIGTERM drain
 # must log a clean exit, kill -9 after an acknowledged write must
-# recover on restart), tiny runs of the concurrency, cache, serve,
-# and predicates sweeps through cmd/bench -json, a debug-listener smoke
+# recover on restart), the adversarial scenario engine's 500-seed
+# differential sweep under -race plus golden-seed replay and minimizer
+# convergence, tiny runs of the concurrency, cache, serve, predicates,
+# and scenario sweeps through cmd/bench -json, a debug-listener smoke
 # that scrapes /metrics twice and checks the exposition is well-formed
 # with monotone counters, and a 10-second smoke of each native fuzz
 # target (including the WAL frame decoder).
@@ -49,6 +51,15 @@ go run ./cmd/bench -exp concurrency -scale 0.02 -workers 1 -sessions 1,4 -timeou
 go run ./cmd/bench -exp serve -scale 0.02 -sessions 1,2 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp cache -scale 0.02 -timeout 30s -q -json "$(mktemp -d)"
 go run ./cmd/bench -exp predicates -scale 0.02 -workers 1 -timeout 30s -q -json "$(mktemp -d)"
+# Adversarial scenario engine: the full 500-seed differential sweep
+# under -race (every generated query must answer identically across
+# canonical/unnested × row/vector × cache tiers × workers × null
+# modes), replay of every checked-in divergence seed, and a tiny
+# scenario sweep through cmd/bench (divergence count pinned at zero —
+# any disagreement fails the run).
+SCENARIO_SEEDS=500 go test -race -run 'TestRunnerSweep' -timeout 30m ./internal/scenario
+go test -race -run 'TestScenarioGoldens|TestMinimizerConvergence' . ./internal/scenario
+go run ./cmd/bench -exp scenario -scale 0.05 -timeout 30s -q -json "$(mktemp -d)"
 # Debug-listener smoke: hold a REPL open over a FIFO, scrape /metrics
 # around a query, and check the exposition is well-formed (every sample
 # belongs to a "# TYPE"-declared family) with monotone counters.
